@@ -1,0 +1,126 @@
+// Package aft is the public façade of the assumption-failure-tolerance
+// library, a reproduction of Vincenzo De Florio, "Software Assumptions
+// Failure Tolerance: Role, Strategies, and Visions".
+//
+// The library's thesis, following the paper, is that design assumptions
+// should be explicit, documented, postponed, verified, and — where
+// possible — autonomically revised. The façade exposes the assumption
+// framework (declare → bind late → verify against truth sources →
+// detect/handle clashes) plus the Boulding-scale classification used to
+// grade a system's openness.
+//
+// The three treatment strategies of the paper's §3 are implemented by
+// the internal packages and exercised by the examples and experiment
+// harnesses:
+//
+//   - §3.1 compile/deploy-time selection of memory access methods
+//     (internal/autoconf over internal/spd, internal/memaccess,
+//     internal/memsim, internal/ecc);
+//   - §3.2 run-time choice of fault-tolerance design patterns
+//     (internal/accada over internal/alphacount, internal/dag,
+//     internal/ftpatterns, internal/pubsub, internal/watchdog);
+//   - §3.3 autonomic dimensioning of replicated resources
+//     (internal/redundancy over internal/voting).
+//
+// See examples/ for runnable walkthroughs and DESIGN.md for the system
+// inventory.
+package aft
+
+import (
+	"aft/internal/core"
+	"aft/internal/pubsub"
+	"aft/internal/simclock"
+	"aft/internal/trace"
+)
+
+// Re-exported core types: the assumption framework.
+type (
+	// Syndrome is one of the paper's three hazards (Horning, Hidden
+	// Intelligence, Boulding).
+	Syndrome = core.Syndrome
+	// BindTime is a life-cycle stage at which an assumption may be
+	// bound.
+	BindTime = core.BindTime
+	// Alternative is one declared hypothesis of an assumption variable.
+	Alternative = core.Alternative
+	// Variable is an assumption variable with postponed binding.
+	Variable = core.Variable
+	// TruthSource reports the hypothesis currently matching reality.
+	TruthSource = core.TruthSource
+	// Clash is an assumption failure: bound hypothesis versus observed
+	// fact.
+	Clash = core.Clash
+	// Registry holds a system's declared assumption variables.
+	Registry = core.Registry
+	// AuditFinding is a hygiene gap reported by Registry.Audit.
+	AuditFinding = core.AuditFinding
+	// Executive re-verifies a registry periodically and propagates
+	// clashes.
+	Executive = core.Executive
+	// BouldingCategory is a rung of Boulding's systems scale.
+	BouldingCategory = core.BouldingCategory
+	// Traits describes a system's adaptivity for classification.
+	Traits = core.Traits
+)
+
+// Syndromes.
+const (
+	Horning            = core.Horning
+	HiddenIntelligence = core.HiddenIntelligence
+	Boulding           = core.Boulding
+)
+
+// Binding stages.
+const (
+	DesignTime  = core.DesignTime
+	CompileTime = core.CompileTime
+	DeployTime  = core.DeployTime
+	RunTime     = core.RunTime
+)
+
+// Boulding categories.
+const (
+	Framework  = core.Framework
+	Clockwork  = core.Clockwork
+	Thermostat = core.Thermostat
+	Cell       = core.Cell
+	Plant      = core.Plant
+	Being      = core.Being
+)
+
+// Errors re-exported for matching with errors.Is.
+var (
+	ErrUnknownVariable    = core.ErrUnknownVariable
+	ErrUnknownAlternative = core.ErrUnknownAlternative
+	ErrTooEarly           = core.ErrTooEarly
+	ErrUnbound            = core.ErrUnbound
+	ErrNoTruthSource      = core.ErrNoTruthSource
+)
+
+// NewRegistry returns an empty assumption registry.
+func NewRegistry() *Registry { return core.NewRegistry() }
+
+// NewExecutive builds a run-time executive verifying reg every interval
+// virtual-time ticks, publishing clashes to bus (nil disables
+// propagation).
+func NewExecutive(reg *Registry, bus *pubsub.Bus, interval simclock.Time, opts ...core.ExecutiveOption) (*Executive, error) {
+	return core.NewExecutive(reg, bus, interval, opts...)
+}
+
+// WithExecRecorder attaches a trace recorder to an executive.
+func WithExecRecorder(rec *trace.Recorder) core.ExecutiveOption {
+	return core.WithExecRecorder(rec)
+}
+
+// Classify grades a system's traits on Boulding's scale.
+func Classify(t Traits) BouldingCategory { return core.Classify(t) }
+
+// BouldingClash reports whether a system's category falls short of what
+// its environment requires — the Boulding syndrome condition.
+func BouldingClash(system, required BouldingCategory) bool {
+	return core.BouldingClash(system, required)
+}
+
+// ClashTopic is the bus topic on which an executive publishes clashes
+// for a variable.
+func ClashTopic(variable string) string { return core.ClashTopic(variable) }

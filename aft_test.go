@@ -1,0 +1,106 @@
+package aft
+
+import (
+	"errors"
+	"testing"
+
+	"aft/internal/pubsub"
+	"aft/internal/simclock"
+)
+
+// TestFacadeEndToEnd drives the whole public surface: declare a
+// postponed assumption, bind it late, watch the executive detect an
+// Ariane-5-style clash, and auto-rebind.
+func TestFacadeEndToEnd(t *testing.T) {
+	reg := NewRegistry()
+	err := reg.Declare(Variable{
+		Name:     "flight.horizontal-velocity-range",
+		Doc:      "horizontal velocity fits a 16-bit signed integer (Ariane 4 heritage)",
+		Syndrome: Horning,
+		BindAt:   DeployTime,
+		Alternatives: []Alternative{
+			{ID: "int16", Description: "fits 16-bit signed"},
+			{ID: "int64", Description: "needs 64-bit"},
+		},
+		AutoRebind: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Bind("flight.horizontal-velocity-range", "int16", DesignTime); !errors.Is(err, ErrTooEarly) {
+		t.Fatalf("premature bind: %v", err)
+	}
+	if err := reg.Bind("flight.horizontal-velocity-range", "int16", DeployTime); err != nil {
+		t.Fatal(err)
+	}
+
+	truth := "int16"
+	if err := reg.AttachTruth("flight.horizontal-velocity-range",
+		func() (string, error) { return truth, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	bus := pubsub.New()
+	var clashes []Clash
+	bus.Subscribe(ClashTopic("flight.horizontal-velocity-range"), func(m pubsub.Message) {
+		if c, ok := m.Payload.(Clash); ok {
+			clashes = append(clashes, c)
+		}
+	})
+
+	exec, err := NewExecutive(reg, bus, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := simclock.New()
+	exec.Start(s)
+	// The new launcher is faster: the fact changes at t=25.
+	s.At(25, func(*simclock.Scheduler) { truth = "int64" })
+	s.At(100, func(*simclock.Scheduler) { exec.Stop() })
+	s.Run(150)
+
+	if len(clashes) != 1 {
+		t.Fatalf("clashes = %v, want exactly 1 (auto-rebind heals)", clashes)
+	}
+	if !clashes[0].Rebound || clashes[0].Syndrome != Horning {
+		t.Fatalf("clash = %+v", clashes[0])
+	}
+	v, err := reg.Get("flight.horizontal-velocity-range")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound, _ := v.Bound(); bound != "int64" {
+		t.Fatalf("bound = %q after rebind", bound)
+	}
+}
+
+func TestFacadeBoulding(t *testing.T) {
+	fixed := Classify(Traits{Dynamic: true, MaintainsSetpoint: true})
+	if fixed != Thermostat {
+		t.Fatalf("fixed redundancy = %v, want Thermostat", fixed)
+	}
+	autonomic := Classify(Traits{Dynamic: true, MaintainsSetpoint: true, RevisesStructure: true})
+	if autonomic != Cell {
+		t.Fatalf("autonomic redundancy = %v, want Cell", autonomic)
+	}
+	if !BouldingClash(fixed, Cell) {
+		t.Fatal("Thermostat in a Cell-demanding environment must clash")
+	}
+}
+
+func TestFacadeAudit(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Declare(Variable{
+		Name:         "x",
+		Doc:          "d",
+		Syndrome:     HiddenIntelligence,
+		BindAt:       RunTime,
+		Alternatives: []Alternative{{ID: "a"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	findings := reg.Audit()
+	if len(findings) != 2 {
+		t.Fatalf("audit findings = %v", findings)
+	}
+}

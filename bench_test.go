@@ -1,0 +1,263 @@
+package aft
+
+// One benchmark per paper artefact, each regenerating its figure through
+// the same harness cmd/aft-bench uses, plus microbenchmarks for the hot
+// paths underneath them. Shape assertions live in
+// internal/experiments/experiments_test.go; these benchmarks measure the
+// cost of regeneration and report the headline metric of each experiment
+// for eyeballing in bench output.
+
+import (
+	"testing"
+
+	"aft/internal/experiments"
+	"aft/internal/pubsub"
+	"aft/internal/simclock"
+	"aft/internal/voting"
+	"aft/internal/xrand"
+)
+
+// BenchmarkFig4AlphaCount regenerates the watchdog + alpha-count
+// scenario of Fig. 4.
+func BenchmarkFig4AlphaCount(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig4(experiments.DefaultFig4Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FlipIndex != 3 {
+			b.Fatalf("flip at %d", res.FlipIndex)
+		}
+	}
+}
+
+// BenchmarkFig5DTOF regenerates the distance-to-failure table of Fig. 5.
+func BenchmarkFig5DTOF(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig5(uint64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].DTOF != 4 {
+			b.Fatal("dtof table wrong")
+		}
+	}
+}
+
+// BenchmarkFig6Staircase regenerates the redundancy staircase of Fig. 6
+// (12k rounds with one ramping storm).
+func BenchmarkFig6Staircase(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAdaptive(experiments.DefaultFig6Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failures != 0 {
+			b.Fatalf("failures %d", res.Failures)
+		}
+	}
+}
+
+// BenchmarkFig7Histogram regenerates the redundancy occupancy histogram
+// of Fig. 7 at a 1M-round scale (the paper ran 65M; cmd/aft-bench
+// -fig 7 -steps 65000000 reproduces it in full).
+func BenchmarkFig7Histogram(b *testing.B) {
+	cfg := experiments.DefaultFig7Config(1_000_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAdaptive(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failures != 0 {
+			b.Fatalf("failures %d", res.Failures)
+		}
+		b.ReportMetric(res.MinFraction*100, "%time@r=3")
+	}
+}
+
+// BenchmarkE5PermanentFault regenerates the livelock ablation.
+func BenchmarkE5PermanentFault(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE5(experiments.DefaultE5Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("rows missing")
+		}
+	}
+}
+
+// BenchmarkE6TransientFaults regenerates the spare-waste ablation.
+func BenchmarkE6TransientFaults(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE6(experiments.DefaultE6Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("rows missing")
+		}
+	}
+}
+
+// BenchmarkE7SelectionMatrix regenerates the §3.1 selection/survival
+// matrix.
+func BenchmarkE7SelectionMatrix(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.RunE7(experiments.DefaultE7Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 25 {
+			b.Fatal("matrix incomplete")
+		}
+	}
+}
+
+// BenchmarkE8Dimensioning regenerates the fixed-versus-autonomic
+// dimensioning comparison.
+func BenchmarkE8Dimensioning(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE8(60_000, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("rows missing")
+		}
+	}
+}
+
+// BenchmarkE9AlphaSweep regenerates the alpha-count parameter sweep.
+func BenchmarkE9AlphaSweep(b *testing.B) {
+	cfg := experiments.DefaultE9Config()
+	cfg.Traces = 50
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 16 {
+			b.Fatal("grid incomplete")
+		}
+	}
+}
+
+// BenchmarkE10HysteresisSweep regenerates the LowerAfter sweep.
+func BenchmarkE10HysteresisSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE10(60_000, 42, []int{10, 1000, 10000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("rows missing")
+		}
+	}
+}
+
+// --- microbenchmarks on the hot paths ----------------------------------
+
+// BenchmarkVotingRoundConsensus measures one clean voting round, the
+// dominant operation of the Fig. 7 run.
+func BenchmarkVotingRoundConsensus(b *testing.B) {
+	farm, err := voting.NewFarm(3, func(v uint64) uint64 { return v })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := farm.Round(uint64(i), nil, nil)
+		if o.Failed() {
+			b.Fatal("clean round failed")
+		}
+	}
+}
+
+// BenchmarkVotingRoundDissent measures a round with one corrupted
+// replica (map-tally path).
+func BenchmarkVotingRoundDissent(b *testing.B) {
+	farm, err := voting.NewFarm(7, func(v uint64) uint64 { return v })
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	corrupted := func(i int) bool { return i == 0 }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		farm.Round(uint64(i), corrupted, rng)
+	}
+}
+
+// BenchmarkExecutiveVerify measures one verification sweep over a
+// 100-variable registry.
+func BenchmarkExecutiveVerify(b *testing.B) {
+	reg := NewRegistry()
+	for i := 0; i < 100; i++ {
+		name := "var" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		v := Variable{
+			Name:         name,
+			Doc:          "bench variable",
+			Syndrome:     Horning,
+			BindAt:       RunTime,
+			Alternatives: []Alternative{{ID: "x"}, {ID: "y"}},
+		}
+		if err := reg.Declare(v); err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.Bind(name, "x", RunTime); err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.AttachTruth(name, func() (string, error) { return "x", nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	exec, err := NewExecutive(reg, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		exec.VerifyOnce(int64(i))
+	}
+}
+
+// BenchmarkBusPublish measures one fault notification through the
+// pub/sub bus with 8 subscribers.
+func BenchmarkBusPublish(b *testing.B) {
+	bus := pubsub.New()
+	for i := 0; i < 8; i++ {
+		bus.Subscribe("faults/*", func(pubsub.Message) {})
+	}
+	msg := pubsub.Message{Topic: "faults/c3", Payload: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(msg)
+	}
+}
+
+// BenchmarkSchedulerThroughput measures discrete-event scheduling, the
+// substrate under the Fig. 4 scenario.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := simclock.New()
+		n := 0
+		s.Every(1, func(*simclock.Scheduler) bool {
+			n++
+			return n < 1000
+		})
+		s.RunAll()
+	}
+}

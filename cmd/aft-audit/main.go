@@ -1,0 +1,103 @@
+// Command aft-audit loads an assumption-carrying deployment manifest
+// (or prints/audits the built-in sample) and reports the syndromes
+// detectable before the system ever runs: undocumented or unbound
+// assumption variables, unverifiable bindings, and a Boulding category
+// shortfall against the target environment.
+//
+// With -env it additionally performs the §4 re-qualification activity:
+// the manifest's recorded bindings are matched against the destination
+// environment's facts (a JSON object mapping variable names to observed
+// hypothesis IDs) and stale bindings are reported.
+//
+// Usage:
+//
+//	aft-audit [-manifest FILE] [-env FILE] [-print-sample]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"aft/internal/manifest"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	path := flag.String("manifest", "", "path to a JSON manifest (default: built-in sample)")
+	envPath := flag.String("env", "", "path to a JSON environment-fact file for re-qualification")
+	printSample := flag.Bool("print-sample", false, "print the built-in sample manifest and exit")
+	flag.Parse()
+
+	if *printSample {
+		data, err := manifest.Example().Encode()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+
+	m := manifest.Example()
+	if *path != "" {
+		data, err := os.ReadFile(*path)
+		if err != nil {
+			return err
+		}
+		m, err = manifest.Parse(data)
+		if err != nil {
+			return err
+		}
+	}
+
+	rep, err := m.Audit()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system:            %s\n", rep.System)
+	fmt.Printf("boulding category: %v (required: %v)\n", rep.Category, rep.RequiredCategory)
+	if rep.BouldingClash {
+		fmt.Println("  !! Boulding clash: the system is underqualified for its environment")
+	}
+	if len(rep.Findings) == 0 {
+		fmt.Println("no findings: every assumption is bound and verifiable")
+	} else {
+		fmt.Printf("%d finding(s):\n", len(rep.Findings))
+		for _, f := range rep.Findings {
+			fmt.Printf("  %-36s %s\n", f.Variable, f.Problem)
+		}
+	}
+
+	if *envPath == "" {
+		return nil
+	}
+	data, err := os.ReadFile(*envPath)
+	if err != nil {
+		return err
+	}
+	var env map[string]string
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("parse environment facts: %w", err)
+	}
+	stale := m.Requalify(env)
+	if len(stale) == 0 {
+		fmt.Println("re-qualification: every recorded binding holds in the destination environment")
+		return nil
+	}
+	fmt.Printf("re-qualification: %d stale binding(s):\n", len(stale))
+	for _, s := range stale {
+		note := "rebind to the observed alternative"
+		if !s.Declared {
+			note = "observed fact is OUTSIDE the declared alternatives — redesign required"
+		}
+		fmt.Printf("  %-36s bound %q, observed %q — %s\n", s.Variable, s.Bound, s.Observed, note)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+// Command aft-bench regenerates every figure of the paper plus the
+// derived ablations, printing the rows/series the paper reports. It is
+// the reference harness behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	aft-bench [-fig 4|5|6|7|e5|e6|e7|e8|all] [-steps N] [-seed S]
+//
+// -steps applies to the Fig. 7 run; pass 65000000 for the paper's full
+// 65-million-step experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"aft/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fig := flag.String("fig", "all", "which artefact to regenerate: 4, 5, 6, 7, e5..e10, all")
+	steps := flag.Int64("steps", 2_000_000, "rounds for the Fig. 7 run (paper: 65000000)")
+	seed := flag.Uint64("seed", 1906, "random seed")
+	flag.Parse()
+
+	runners := map[string]func() error{
+		"4": func() error {
+			res, err := experiments.RunFig4(experiments.DefaultFig4Config())
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			return nil
+		},
+		"5": func() error {
+			rows, err := experiments.RunFig5(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFig5(rows))
+			return nil
+		},
+		"6": func() error {
+			cfg := experiments.DefaultFig6Config()
+			cfg.Seed = *seed
+			res, err := experiments.RunAdaptive(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFig6(res))
+			return nil
+		},
+		"7": func() error {
+			cfg := experiments.DefaultFig7Config(*steps)
+			cfg.Seed = *seed
+			fmt.Printf("(running %d rounds)\n", cfg.Steps)
+			res, err := experiments.RunAdaptive(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFig7(res, cfg.Policy.Min))
+			return nil
+		},
+		"e5": func() error {
+			rows, err := experiments.RunE5(experiments.DefaultE5Config())
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderPatternRows(
+				"E5 — permanent fault: redoing livelocks, adaptation escapes", rows))
+			return nil
+		},
+		"e6": func() error {
+			rows, err := experiments.RunE6(experiments.DefaultE6Config())
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderPatternRows(
+				"E6 — transient faults: reconfiguration wastes spares, adaptation does not", rows))
+			return nil
+		},
+		"e7": func() error {
+			cells, err := experiments.RunE7(experiments.DefaultE7Config())
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderE7(cells))
+			return nil
+		},
+		"e8": func() error {
+			rows, err := experiments.RunE8(200_000, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderE8(rows))
+			return nil
+		},
+		"e9": func() error {
+			rows, err := experiments.RunE9(experiments.DefaultE9Config())
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderE9(rows))
+			return nil
+		},
+		"e10": func() error {
+			rows, err := experiments.RunE10(200_000, *seed, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderE10(rows))
+			return nil
+		},
+	}
+
+	order := []string{"4", "5", "6", "7", "e5", "e6", "e7", "e8", "e9", "e10"}
+	if *fig != "all" {
+		r, ok := runners[*fig]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, e5..e10, all)", *fig)
+		}
+		return r()
+	}
+	for _, k := range order {
+		fmt.Printf("\n================ %s ================\n", k)
+		if err := runners[k](); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+// Command aft-sim runs the paper's §3.3 autonomic redundancy simulation
+// with configurable length, seed, and disturbance regime, printing the
+// Fig. 6-style series (when sampling) and the Fig. 7-style histogram.
+//
+// Usage:
+//
+//	aft-sim [-steps N] [-seed S] [-sample K] [-storm-every N] [-max-level L]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"aft/internal/experiments"
+	"aft/internal/redundancy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	steps := flag.Int64("steps", 1_000_000, "number of voting rounds")
+	seed := flag.Uint64("seed", 1906, "random seed")
+	sample := flag.Int64("sample", 0, "series sampling period (0 = histogram only)")
+	stormEvery := flag.Int64("storm-every", 0, "storm onset period (0 = steps/13)")
+	maxLevel := flag.Int("max-level", 4, "maximum storm intensity level")
+	flag.Parse()
+
+	cfg := experiments.DefaultFig7Config(*steps)
+	cfg.Seed = *seed
+	cfg.SampleEvery = *sample
+	if *stormEvery > 0 {
+		cfg.Storms.StormEvery = *stormEvery
+	}
+	cfg.Storms.MaxLevel = *maxLevel
+
+	fmt.Printf("running %d rounds (seed %d, storms every %d rounds, max level %d)\n",
+		cfg.Steps, cfg.Seed, cfg.Storms.StormEvery, cfg.Storms.MaxLevel)
+	res, err := experiments.RunAdaptive(cfg)
+	if err != nil {
+		return err
+	}
+	if res.Redundancy != nil {
+		fmt.Print(experiments.RenderFig6(res))
+	}
+	fmt.Print(experiments.RenderFig7(res, redundancy.DefaultPolicy().Min))
+	return nil
+}

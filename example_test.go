@@ -1,0 +1,67 @@
+package aft_test
+
+import (
+	"fmt"
+
+	"aft"
+)
+
+// ExampleRegistry shows the complete life of an assumption variable:
+// declaration with provenance, late binding, truth attachment, and
+// clash detection.
+func ExampleRegistry() {
+	reg := aft.NewRegistry()
+	_ = reg.Declare(aft.Variable{
+		Name:     "net.latency-class",
+		Doc:      "the deployment network is LAN-class (<1ms RTT); assumed by the retry budget",
+		Syndrome: aft.Horning,
+		BindAt:   aft.DeployTime,
+		Alternatives: []aft.Alternative{
+			{ID: "lan", Description: "sub-millisecond"},
+			{ID: "wan", Description: "tens of milliseconds"},
+		},
+	})
+	_ = reg.Bind("net.latency-class", "lan", aft.DeployTime)
+	_ = reg.AttachTruth("net.latency-class", func() (string, error) {
+		return "wan", nil // the probe says otherwise
+	})
+	for _, clash := range reg.Verify(7) {
+		fmt.Println(clash)
+	}
+	// Output:
+	// [7] Horning clash on "net.latency-class": assumed "lan", observed "wan"
+}
+
+// ExampleClassify grades two designs of the same service on Boulding's
+// scale — the paper's §3.3 contrast.
+func ExampleClassify() {
+	fixed := aft.Classify(aft.Traits{Dynamic: true, MaintainsSetpoint: true})
+	autonomic := aft.Classify(aft.Traits{
+		Dynamic: true, MaintainsSetpoint: true, RevisesStructure: true,
+	})
+	fmt.Println(fixed, "->", autonomic)
+	fmt.Println("clash against a Cell environment:",
+		aft.BouldingClash(fixed, aft.Cell), "->", aft.BouldingClash(autonomic, aft.Cell))
+	// Output:
+	// Thermostat -> Cell
+	// clash against a Cell environment: true -> false
+}
+
+// ExampleRegistry_audit shows the hygiene audit that catches the Hidden
+// Intelligence syndrome before deployment.
+func ExampleRegistry_audit() {
+	reg := aft.NewRegistry()
+	_ = reg.Declare(aft.Variable{
+		Name:         "disk.iops-class",
+		Doc:          "storage is SSD-class; assumed by the compaction scheduler",
+		Syndrome:     aft.HiddenIntelligence,
+		BindAt:       aft.DeployTime,
+		Alternatives: []aft.Alternative{{ID: "ssd"}, {ID: "hdd"}},
+	})
+	for _, f := range reg.Audit() {
+		fmt.Printf("%s: %s\n", f.Variable, f.Problem)
+	}
+	// Output:
+	// disk.iops-class: declared but never bound
+	// disk.iops-class: no truth source attached: the assumption is unverifiable at run time
+}

@@ -1,0 +1,112 @@
+// Command adaptivepatterns demonstrates the paper's §3.2 strategy: the
+// choice between the redoing and reconfiguration design patterns is
+// postponed to run time and driven by an alpha-count oracle.
+//
+// Part 1 replays the Fig. 4 scenario (watchdog firings feeding the
+// alpha-count until the fault is labeled "permanent or intermittent").
+// Part 2 reshapes a reflective DAG from D1 to D2 as in Fig. 3. Part 3
+// shows the execution-level payoff against the two static patterns.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aft/internal/accada"
+	"aft/internal/alphacount"
+	"aft/internal/dag"
+	"aft/internal/experiments"
+	"aft/internal/faults"
+	"aft/internal/ftpatterns"
+	"aft/internal/pubsub"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- Part 1: the Fig. 4 scenario --------------------------------
+	res, err := experiments.RunFig4(experiments.DefaultFig4Config())
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+
+	// --- Part 2: Fig. 3, the architecture reshapes ------------------
+	fmt.Println("\nFig. 3 — reflective DAG transition D1 -> D2")
+	live := dag.New()
+	for _, n := range []string{"c1", "c2", "c3"} {
+		if err := live.AddNode(n, nil); err != nil {
+			return err
+		}
+	}
+	if err := live.AddEdge("c1", "c2"); err != nil {
+		return err
+	}
+	if err := live.AddEdge("c2", "c3"); err != nil {
+		return err
+	}
+	d1 := live.Snapshot()
+
+	alt := dag.New()
+	for _, n := range []string{"c1", "c2", "c3.1", "c3.2"} {
+		if err := alt.AddNode(n, nil); err != nil {
+			return err
+		}
+	}
+	for _, e := range [][2]string{{"c1", "c2"}, {"c2", "c3.1"}, {"c3.1", "c3.2"}} {
+		if err := alt.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	d2 := alt.Snapshot()
+
+	bus := pubsub.New()
+	mgr, err := accada.NewManager(live, bus, alphacount.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	if err := mgr.Bind("c3", d1, d2); err != nil {
+		return err
+	}
+	fmt.Printf("  before: nodes %v\n", live.Nodes())
+	for i := 0; i < 3; i++ {
+		bus.Publish(pubsub.Message{Topic: accada.FaultTopic("c3"), Payload: true})
+	}
+	fmt.Printf("  after 3 fault notifications (verdict %q): nodes %v\n",
+		mgr.Verdict("c3"), live.Nodes())
+
+	// --- Part 3: static patterns vs the adaptive executor -----------
+	fmt.Println("\nStatic vs adaptive under a permanent fault (the e1 clash)")
+	var latch faults.Latch
+	latch.Trip()
+	primary := ftpatterns.LatchedVersion(&latch)
+	spare := ftpatterns.ReliableVersion()
+
+	redo, err := ftpatterns.NewRedoing(primary, 5)
+	if err != nil {
+		return err
+	}
+	exec, err := accada.NewAdaptiveExecutor(alphacount.DefaultConfig(), 5, primary, spare)
+	if err != nil {
+		return err
+	}
+	redoFail, adaptFail := 0, 0
+	for i := 0; i < 50; i++ {
+		if !redo.Invoke().OK {
+			redoFail++
+		}
+		if !exec.Invoke().OK {
+			adaptFail++
+		}
+	}
+	redoAttempts, _ := redo.Stats()
+	_, adaptAttempts, _, swaps, _ := exec.Stats()
+	fmt.Printf("  static redoing:    %2d/50 failed, %3d attempts (livelock)\n", redoFail, redoAttempts)
+	fmt.Printf("  adaptive executor: %2d/50 failed, %3d attempts, %d pattern swap(s)\n",
+		adaptFail, adaptAttempts, swaps)
+	return nil
+}

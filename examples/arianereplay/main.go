@@ -1,0 +1,145 @@
+// Command arianereplay replays the paper's §2.1 case study — the Ariane
+// 5 flight 501 failure — twice: once as flown (the Ariane 4 assumption
+// silently hardwired, Hidden Intelligence followed by a Horning clash),
+// and once with the library's full treatment chain: an explicit contract
+// at the conversion site, an assumption variable with a truth source,
+// and the §5 agent web routing the run-time clash into a model-level
+// adaptation request.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"aft"
+	"aft/internal/agents"
+	"aft/internal/contracts"
+)
+
+// flightProfile yields horizontal velocity over flight time; the Ariane
+// 5 profile exceeds the Ariane 4 envelope shortly after lift-off.
+func flightProfile(t int) int64 {
+	return int64(t) * 1200 // reaches 32767 around t=27
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== Replay 1: as flown (assumption hardwired)")
+	asFlown()
+
+	fmt.Println("\n== Replay 2: with assumption failure tolerance")
+	return protected()
+}
+
+// asFlown reproduces the silent overflow: the int16 conversion is just
+// code; nothing records that it encodes an environmental assumption.
+func asFlown() {
+	for t := 0; t <= 40; t++ {
+		v := flightProfile(t)
+		bh := int16(v) // the fatal conversion, unguarded
+		if int64(bh) != v {
+			fmt.Printf("  t=%2ds: operand error — BH=%d from velocity %d; "+
+				"both IRS replicas shut down; launcher lost\n", t, bh, v)
+			return
+		}
+	}
+}
+
+// protected runs the same profile under the library's treatment chain.
+func protected() error {
+	// 1. The assumption is explicit, documented, and monitored.
+	reg := aft.NewRegistry()
+	if err := reg.Declare(aft.Variable{
+		Name: "flight.horizontal-velocity-range",
+		Doc: "horizontal velocity fits int16 — Ariane 4 flight envelope; " +
+			"MUST be requalified for any new launcher (this is the flight-501 lesson)",
+		Syndrome: aft.Horning,
+		BindAt:   aft.DeployTime,
+		Alternatives: []aft.Alternative{
+			{ID: "int16", Description: "narrow envelope"},
+			{ID: "int64", Description: "wide envelope"},
+		},
+		AutoRebind: true,
+	}); err != nil {
+		return err
+	}
+	if err := reg.Bind("flight.horizontal-velocity-range", "int16", aft.DeployTime); err != nil {
+		return err
+	}
+
+	currentVelocity := int64(0)
+	if err := reg.AttachTruth("flight.horizontal-velocity-range", func() (string, error) {
+		if currentVelocity > 32767 {
+			return "int64", nil
+		}
+		return "int16", nil
+	}); err != nil {
+		return err
+	}
+
+	// 2. The §5 agent web: a run-time clash becomes a model-level
+	// adaptation request.
+	web := agents.NewWeb(nil)
+	if err := web.Attach(&agents.ReactiveAgent{
+		AgentName: "flight-envelope-modeler", AgentConcern: agents.ModelConcern,
+		Adapt: func(r agents.AdaptationRequest) ([]agents.Knowledge, []agents.AdaptationRequest) {
+			fmt.Printf("  model agent: adaptation requested — %s\n", r.Reason)
+			return nil, nil
+		},
+	}); err != nil {
+		return err
+	}
+	bridge, err := agents.NewBridge(web, agents.ModelConcern)
+	if err != nil {
+		return err
+	}
+	reg.OnClash(bridge.OnClash)
+
+	// 3. Design by Contract at the conversion site.
+	contract, err := contracts.New("irs.bh-conversion")
+	if err != nil {
+		return err
+	}
+	contract.Require("velocity fits int16", contracts.Guard(
+		func() bool { return currentVelocity <= 32767 },
+		"horizontal velocity exceeds the bound assumption"))
+
+	// Fly.
+	for t := 0; t <= 40; t++ {
+		currentVelocity = flightProfile(t)
+		err := contract.Run(func() error {
+			_ = int16(currentVelocity) // now guarded
+			return nil
+		})
+		var violation contracts.Violation
+		if errors.As(err, &violation) {
+			fmt.Printf("  t=%2ds: contract caught the clash before the conversion: %v\n",
+				t, violation)
+			// Verify the assumption registry: clash + auto-rebind +
+			// agent-web propagation.
+			clashes := reg.Verify(int64(t))
+			for _, c := range clashes {
+				fmt.Printf("  registry: %s\n", c)
+			}
+			// Degrade gracefully: switch to the wide-envelope code path
+			// instead of shutting the channel down.
+			fmt.Printf("  t=%2ds: guidance continues on the 64-bit path "+
+				"(velocity %d)\n", t, currentVelocity)
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	if k, ok := web.Lookup("clash/flight.horizontal-velocity-range"); ok {
+		fmt.Printf("  shared knowledge base now records: %s = %s\n", k.Key, k.Value)
+	}
+	return nil
+}

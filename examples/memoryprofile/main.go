@@ -1,0 +1,109 @@
+// Command memoryprofile demonstrates the paper's §3.1 strategy end to
+// end: probe the target machine's memory identity (the Fig. 2 `lshw`
+// excerpt), look up the failure knowledge base, retrieve the most
+// probable failure assumption f, select the cheapest adequate access
+// method Mj, build it over simulated devices, and survive the fault
+// classes the assumption admits.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aft/internal/autoconf"
+	"aft/internal/memsim"
+	"aft/internal/xrand"
+)
+
+// lshwFig2 is the paper's Fig. 2 excerpt (a Dell Inspiron 6000).
+const lshwFig2 = `  *-memory
+       description: System Memory
+       size: 1536MiB
+     *-bank:0
+          description: DIMM DDR Synchronous 533 MHz (1.9 ns)
+          vendor: CE00000000000000
+          serial: F504F679
+          slot: DIMM_A
+          size: 1GiB
+          clock: 533MHz (1.9ns)
+     *-bank:1
+          description: DIMM DDR Synchronous 667 MHz (1.5 ns)
+          vendor: CE00000000000000
+          serial: F33DD2FD
+          slot: DIMM_B
+          size: 512MiB
+          clock: 667MHz (1.5ns)
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== Probing the target (lshw output, Fig. 2)")
+	probe := autoconf.LSHWProbe{Text: lshwFig2}
+	mods, err := probe.Modules()
+	if err != nil {
+		return err
+	}
+	for i, m := range mods {
+		fmt.Printf("  bank %d: %s\n", i, m)
+	}
+
+	// Build the method over simulated devices matching the worst
+	// module's profile (lot F5xx runs hot: SEL, SEU and SFI).
+	rng := xrand.New(42)
+	devCfg := memsim.HarshSDRAMConfig("dimm-a", 512)
+	devs := make([]*memsim.Device, 3)
+	for i := range devs {
+		d, err := memsim.New(devCfg, rng)
+		if err != nil {
+			return err
+		}
+		devs[i] = d
+	}
+
+	fmt.Println("\n== Selection (knowledge base -> assumption -> cheapest adequate method)")
+	sel := autoconf.NewSelector(nil, nil)
+	method, decision, err := sel.Configure(probe, devs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(decision)
+
+	fmt.Println("\n== Burn-in under the profile's own fault classes")
+	const words = 64
+	for i := 0; i < words; i++ {
+		if err := method.Write(i, uint64(i)*31+7); err != nil {
+			return err
+		}
+	}
+	errors := 0
+	for tick := 0; tick < 5000; tick++ {
+		for _, d := range devs {
+			d.Tick()
+		}
+		addr := tick % words
+		v, err := method.Read(addr)
+		if err != nil || v != uint64(addr)*31+7 {
+			errors++
+			_ = method.Write(addr, uint64(addr)*31+7)
+		}
+	}
+	var seus, stucks, sels, sfis int64
+	for _, d := range devs {
+		a, b, c, dd := d.Stats()
+		seus += a
+		stucks += b
+		sels += c
+		sfis += dd
+	}
+	fmt.Printf("  injected: %d SEUs, %d SELs, %d SFIs across 3 devices\n", seus, sels, sfis)
+	fmt.Printf("  data errors observed through %s: %d\n", method.Name(), errors)
+	fmt.Println("\nThe assumption f4 was retrieved from the knowledge base, not")
+	fmt.Println("hardwired — porting this binary to a CMOS machine would select")
+	fmt.Println("M1-scrub instead, at a fraction of the cost.")
+	return nil
+}

@@ -1,0 +1,123 @@
+// Command quickstart walks through the assumption framework: declare
+// assumption variables with documented provenance, postpone their
+// bindings, audit the registry for hygiene gaps, and let the run-time
+// executive detect an Ariane-5-style assumption-versus-context clash.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aft"
+	"aft/internal/pubsub"
+	"aft/internal/simclock"
+	"aft/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	reg := aft.NewRegistry()
+
+	// The Ariane 4 heritage assumption that destroyed Ariane 5 flight
+	// 501: horizontal velocity fits a 16-bit signed integer. Declared
+	// here as an explicit, documented variable instead of being
+	// hardwired into the code.
+	if err := reg.Declare(aft.Variable{
+		Name: "flight.horizontal-velocity-range",
+		Doc: "horizontal velocity representable as int16; inherited from " +
+			"the Ariane 4 flight envelope, revalidate for every new launcher",
+		Syndrome: aft.Horning,
+		BindAt:   aft.DeployTime,
+		Alternatives: []aft.Alternative{
+			{ID: "int16", Description: "|v_h| < 32768 units"},
+			{ID: "int64", Description: "wide envelope"},
+		},
+		AutoRebind: true,
+	}); err != nil {
+		return err
+	}
+
+	// A §3.1-style hardware assumption.
+	if err := reg.Declare(aft.Variable{
+		Name:     "memory.failure-semantics",
+		Doc:      "fault classes of the target memory modules; drives the access-method choice",
+		Syndrome: aft.HiddenIntelligence,
+		BindAt:   aft.CompileTime,
+		Alternatives: []aft.Alternative{
+			{ID: "f1", Description: "CMOS-like transients"},
+			{ID: "f4", Description: "full single-event effects"},
+		},
+	}); err != nil {
+		return err
+	}
+
+	fmt.Println("== Audit before binding (the registry refuses to hide intelligence)")
+	for _, f := range reg.Audit() {
+		fmt.Printf("  %-36s %s\n", f.Variable, f.Problem)
+	}
+
+	// Bindings happen at their declared stages, not before.
+	if err := reg.Bind("flight.horizontal-velocity-range", "int16", aft.DeployTime); err != nil {
+		return err
+	}
+	if err := reg.Bind("memory.failure-semantics", "f1", aft.CompileTime); err != nil {
+		return err
+	}
+
+	// Truth sources: what "real life" reports.
+	velocityTruth := "int16"
+	if err := reg.AttachTruth("flight.horizontal-velocity-range",
+		func() (string, error) { return velocityTruth, nil }); err != nil {
+		return err
+	}
+	if err := reg.AttachTruth("memory.failure-semantics",
+		func() (string, error) { return "f1", nil }); err != nil {
+		return err
+	}
+
+	// The executive re-verifies every 10 virtual ticks and publishes
+	// clashes on the bus — the paper's autonomic run-time executive.
+	bus := pubsub.New()
+	bus.Subscribe("assumptions/*", func(m pubsub.Message) {
+		if c, ok := m.Payload.(aft.Clash); ok {
+			fmt.Printf("  clash detected: %s\n", c)
+		}
+	})
+	rec := trace.New()
+	exec, err := aft.NewExecutive(reg, bus, 10, aft.WithExecRecorder(rec))
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\n== Run-time verification (the environment changes at t=35)")
+	s := simclock.New()
+	exec.Start(s)
+	s.At(35, func(*simclock.Scheduler) {
+		velocityTruth = "int64" // the new launcher is faster
+	})
+	s.At(100, func(*simclock.Scheduler) { exec.Stop() })
+	s.Run(150)
+
+	v, err := reg.Get("flight.horizontal-velocity-range")
+	if err != nil {
+		return err
+	}
+	bound, _ := v.Bound()
+	fmt.Printf("\n== After the run: variable rebound to %q at %s\n", bound, v.BoundAt())
+
+	fmt.Println("\n== Boulding classification")
+	fixed := aft.Classify(aft.Traits{Dynamic: true, MaintainsSetpoint: true})
+	autonomic := aft.Classify(aft.Traits{
+		Dynamic: true, MaintainsSetpoint: true, RevisesStructure: true,
+	})
+	fmt.Printf("  static binding:     %v (a sitting duck to change)\n", fixed)
+	fmt.Printf("  auto-rebinding:     %v (open, self-maintaining)\n", autonomic)
+	fmt.Printf("  clash vs Cell env:  fixed=%v autonomic=%v\n",
+		aft.BouldingClash(fixed, aft.Cell), aft.BouldingClash(autonomic, aft.Cell))
+	return nil
+}

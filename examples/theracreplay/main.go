@@ -1,0 +1,150 @@
+// Command theracreplay replays the paper's §2.2 case study — the
+// Therac-25 accidents — as an assumption-failure story. The Therac-20's
+// software ran under two assumptions that held only by grace of the
+// hardware platform: f ("no residual fault exists") and p ("all
+// exceptions are caught by the hardware and result in shutting the
+// machine down"). Model 25 removed the hardware interlocks; both
+// assumptions became false, and the paper classifies the result as a
+// Horning failure compounded by Hidden Intelligence (the Therac-20's
+// masked exceptions were never fed back) and the Boulding syndrome (a
+// closed-world controller with no introspection of its platform).
+//
+// Replay 1 runs the reused controller on the new platform as shipped.
+// Replay 2 declares f and p as assumption variables whose truth sources
+// are platform self-tests — the "introspection mechanisms (for instance,
+// self-tests) able to verify whether the target platform did include the
+// expected mechanisms" whose absence the paper calls out — and shows the
+// deploy-time verification refusing the unsafe configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aft"
+	"aft/internal/xrand"
+)
+
+// platform models the relevant difference between the two machines.
+type platform struct {
+	name               string
+	hardwareInterlocks bool
+}
+
+// beamController is the reused software: it carries a residual race
+// fault that occasionally requests the high-energy beam with the
+// shield out.
+type beamController struct {
+	rng *xrand.Rand
+}
+
+// requestDose returns the energy actually delivered; the residual fault
+// manifests rarely (the paper: "certain rare combinations of events").
+func (c *beamController) requestDose(p platform) (energy int, harmed bool) {
+	raceTriggered := c.rng.Bool(0.004)
+	if !raceTriggered {
+		return 1, false
+	}
+	// The fault requests ~100x energy. On the Therac-20 the hardware
+	// interlock trips and shuts the beam down; on the 25 it fires.
+	if p.hardwareInterlocks {
+		return 0, false // interlock shutdown, logged nowhere (SHI!)
+	}
+	return 100, true
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	therac20 := platform{name: "Therac-20", hardwareInterlocks: true}
+	therac25 := platform{name: "Therac-25", hardwareInterlocks: false}
+
+	fmt.Println("== Replay 1: the software reused as shipped")
+	for _, p := range []platform{therac20, therac25} {
+		ctl := &beamController{rng: xrand.New(1986)}
+		overdoses := 0
+		for i := 0; i < 2000; i++ {
+			if _, harmed := ctl.requestDose(p); harmed {
+				overdoses++
+			}
+		}
+		fmt.Printf("  %-10s 2000 treatments, %d overdose(s)\n", p.name, overdoses)
+	}
+	fmt.Println("  (the Therac-20's interlock masked the same fault silently —")
+	fmt.Println("   hidden intelligence that never reached the model-25 designers)")
+
+	fmt.Println("\n== Replay 2: assumptions made explicit, platform self-tested")
+	reg := aft.NewRegistry()
+	if err := reg.Declare(aft.Variable{
+		Name: "machine.exception-containment",
+		Doc: "assumption p: all exceptions are caught by the hardware and " +
+			"result in shutting the machine down (inherited from the Therac-20 platform)",
+		Syndrome: aft.Horning,
+		BindAt:   aft.DeployTime,
+		Alternatives: []aft.Alternative{
+			{ID: "hardware-interlocks", Description: "independent hardware containment"},
+			{ID: "software-only", Description: "containment is the software's job"},
+		},
+	}); err != nil {
+		return err
+	}
+	if err := reg.Declare(aft.Variable{
+		Name: "software.residual-faults",
+		Doc: "assumption f: no residual fault exists (inferred from the " +
+			"Therac-20's failure-free record — which the interlocks, not the software, produced)",
+		Syndrome: aft.HiddenIntelligence,
+		BindAt:   aft.DeployTime,
+		Alternatives: []aft.Alternative{
+			{ID: "none", Description: "no residual faults"},
+			{ID: "present", Description: "residual faults must be assumed present"},
+		},
+	}); err != nil {
+		return err
+	}
+
+	// The bindings the Therac-25 designers effectively made.
+	if err := reg.Bind("machine.exception-containment", "hardware-interlocks", aft.DeployTime); err != nil {
+		return err
+	}
+	if err := reg.Bind("software.residual-faults", "none", aft.DeployTime); err != nil {
+		return err
+	}
+
+	// Truth sources: platform self-tests (the missing introspection).
+	target := therac25
+	if err := reg.AttachTruth("machine.exception-containment", func() (string, error) {
+		if target.hardwareInterlocks {
+			return "hardware-interlocks", nil
+		}
+		return "software-only", nil
+	}); err != nil {
+		return err
+	}
+	if err := reg.AttachTruth("software.residual-faults", func() (string, error) {
+		// Honest engineering position for reused, unverified software.
+		return "present", nil
+	}); err != nil {
+		return err
+	}
+
+	clashes := reg.Verify(0)
+	fmt.Printf("  deploy-time verification on the %s found %d clash(es):\n",
+		target.name, len(clashes))
+	for _, c := range clashes {
+		fmt.Printf("    %s\n", c)
+	}
+	if len(clashes) > 0 {
+		fmt.Println("  => configuration refused: treatments do not start until the")
+		fmt.Println("     containment assumption is rebound and the interlock restored")
+	}
+
+	// The Boulding reading of the same story.
+	closedWorld := aft.Classify(aft.Traits{Dynamic: true})
+	fmt.Printf("\n  Boulding: the shipped controller is a %v; its environment demanded %v (clash: %v)\n",
+		closedWorld, aft.Cell, aft.BouldingClash(closedWorld, aft.Cell))
+	return nil
+}

@@ -1,0 +1,44 @@
+// Command votingfarm demonstrates the paper's §3.3 strategy: a
+// replication-and-voting restoring organ whose dimensioning is revised
+// autonomically from the distance-to-failure of each round.
+//
+// It first prints the Fig. 5 dtof table, then runs the Fig. 6 staircase
+// (a storm of faults raises redundancy; calm decays it), and closes with
+// a scaled-down Fig. 7 occupancy histogram.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aft/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rows, err := experiments.RunFig5(1)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFig5(rows))
+
+	fmt.Println()
+	fig6, err := experiments.RunAdaptive(experiments.DefaultFig6Config())
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFig6(fig6))
+
+	fmt.Println()
+	fig7, err := experiments.RunAdaptive(experiments.DefaultFig7Config(2_000_000))
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFig7(fig7, 3))
+	return nil
+}

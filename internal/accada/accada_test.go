@@ -1,0 +1,387 @@
+package accada
+
+import (
+	"testing"
+
+	"aft/internal/alphacount"
+	"aft/internal/dag"
+	"aft/internal/faults"
+	"aft/internal/ftpatterns"
+	"aft/internal/pubsub"
+	"aft/internal/trace"
+)
+
+// buildFig3 returns a live graph in the D1 shape plus the D1 and D2
+// snapshots of the paper's Fig. 3.
+func buildFig3(t *testing.T) (*dag.Graph, dag.Snapshot, dag.Snapshot) {
+	t.Helper()
+	live := dag.New()
+	for _, n := range []string{"c1", "c2", "c3"} {
+		if err := live.AddNode(n, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := live.AddEdge("c1", "c2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.AddEdge("c2", "c3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.SetPayload("c3", "redoing"); err != nil {
+		t.Fatal(err)
+	}
+	d1 := live.Snapshot()
+
+	alt := dag.New()
+	for _, n := range []string{"c1", "c2", "c3.1", "c3.2"} {
+		if err := alt.AddNode(n, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"c1", "c2"}, {"c2", "c3.1"}, {"c3.1", "c3.2"}} {
+		if err := alt.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d2 := alt.Snapshot()
+	return live, d1, d2
+}
+
+func alphaCfg() alphacount.Config {
+	return alphacount.Config{K: 0.5, Threshold: 3, LowerThreshold: 1}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	bus := pubsub.New()
+	g := dag.New()
+	if _, err := NewManager(nil, bus, alphaCfg()); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := NewManager(g, nil, alphaCfg()); err == nil {
+		t.Fatal("nil bus accepted")
+	}
+	if _, err := NewManager(g, bus, alphacount.Config{K: 7, Threshold: 1}); err == nil {
+		t.Fatal("bad alpha config accepted")
+	}
+}
+
+func TestBindValidation(t *testing.T) {
+	live, d1, d2 := buildFig3(t)
+	m, err := NewManager(live, pubsub.New(), alphaCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bind("c3", d1, d2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bind("c3", d1, d2); err == nil {
+		t.Fatal("double bind accepted")
+	}
+	if err := m.Unbind("c3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unbind("c3"); err == nil {
+		t.Fatal("double unbind accepted")
+	}
+}
+
+func TestFig3SwapOnPermanentFault(t *testing.T) {
+	live, d1, d2 := buildFig3(t)
+	bus := pubsub.New()
+	rec := trace.New()
+	now := int64(0)
+	m, err := NewManager(live, bus, alphaCfg(),
+		WithRecorder(rec), WithClock(func() int64 { return now }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bind("c3", d1, d2); err != nil {
+		t.Fatal(err)
+	}
+
+	var adaptations []alphacount.Verdict
+	bus.Subscribe(AdaptationTopic("c3"), func(msg pubsub.Message) {
+		if v, ok := msg.Payload.(alphacount.Verdict); ok {
+			adaptations = append(adaptations, v)
+		}
+	})
+
+	// A permanent fault: consecutive fault notifications via the bus.
+	for i := 0; i < 3; i++ {
+		now = int64(i)
+		bus.Publish(pubsub.Message{Topic: FaultTopic("c3"), Time: now, Payload: true})
+	}
+	if m.Verdict("c3") != alphacount.PermanentVerdict {
+		t.Fatalf("verdict = %v after 3 faults", m.Verdict("c3"))
+	}
+	// The architecture reshaped into D2.
+	if live.HasNode("c3") || !live.HasNode("c3.1") || !live.HasNode("c3.2") {
+		t.Fatalf("architecture not in D2 shape: nodes %v", live.Nodes())
+	}
+	if m.Swaps() != 1 {
+		t.Fatalf("swaps = %d, want 1", m.Swaps())
+	}
+	if len(adaptations) != 1 || adaptations[0] != alphacount.PermanentVerdict {
+		t.Fatalf("adaptation notifications = %v", adaptations)
+	}
+	if len(rec.Filter("swap")) != 1 {
+		t.Fatalf("trace did not record the swap: %s", rec.Transcript())
+	}
+
+	// Quiet period: alpha decays below the lower threshold -> back to D1.
+	for i := 0; i < 3; i++ {
+		bus.Publish(pubsub.Message{Topic: FaultTopic("c3"), Payload: false})
+	}
+	if m.Verdict("c3") != alphacount.TransientVerdict {
+		t.Fatalf("verdict did not recover: %v (alpha %v)", m.Verdict("c3"), m.Alpha("c3"))
+	}
+	if !live.HasNode("c3") || live.HasNode("c3.1") {
+		t.Fatalf("architecture not restored to D1: nodes %v", live.Nodes())
+	}
+	if m.Swaps() != 2 {
+		t.Fatalf("swaps = %d, want 2", m.Swaps())
+	}
+}
+
+func TestSparseTransientsNeverSwap(t *testing.T) {
+	live, d1, d2 := buildFig3(t)
+	bus := pubsub.New()
+	m, err := NewManager(live, bus, alphaCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bind("c3", d1, d2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		m.Judge("c3", i%7 == 0)
+	}
+	if m.Swaps() != 0 {
+		t.Fatalf("sparse transients caused %d swaps", m.Swaps())
+	}
+	if !live.HasNode("c3") {
+		t.Fatal("architecture changed without a verdict change")
+	}
+}
+
+func TestJudgeUnboundComponentIsNoop(t *testing.T) {
+	live, _, _ := buildFig3(t)
+	m, err := NewManager(live, pubsub.New(), alphaCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Judge("ghost", true); v != alphacount.TransientVerdict {
+		t.Fatalf("unbound judge returned %v", v)
+	}
+	if m.Alpha("ghost") != 0 {
+		t.Fatal("unbound alpha non-zero")
+	}
+}
+
+func TestNonBoolPayloadIgnored(t *testing.T) {
+	live, d1, d2 := buildFig3(t)
+	bus := pubsub.New()
+	m, err := NewManager(live, bus, alphaCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bind("c3", d1, d2); err != nil {
+		t.Fatal(err)
+	}
+	bus.Publish(pubsub.Message{Topic: FaultTopic("c3"), Payload: "not a bool"})
+	if m.Alpha("c3") != 0 {
+		t.Fatal("non-bool payload judged")
+	}
+}
+
+func TestUnbindStopsAdaptation(t *testing.T) {
+	live, d1, d2 := buildFig3(t)
+	bus := pubsub.New()
+	m, err := NewManager(live, bus, alphaCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bind("c3", d1, d2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unbind("c3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		bus.Publish(pubsub.Message{Topic: FaultTopic("c3"), Payload: true})
+	}
+	if m.Swaps() != 0 {
+		t.Fatal("unbound component still adapted")
+	}
+}
+
+// --- AdaptiveExecutor tests -------------------------------------------
+
+func TestExecutorValidation(t *testing.T) {
+	if _, err := NewAdaptiveExecutor(alphaCfg(), 3); err == nil {
+		t.Fatal("no versions accepted")
+	}
+	if _, err := NewAdaptiveExecutor(alphaCfg(), 3, nil); err == nil {
+		t.Fatal("nil version accepted")
+	}
+	if _, err := NewAdaptiveExecutor(alphaCfg(), -1, ftpatterns.ReliableVersion()); err == nil {
+		t.Fatal("negative retries accepted")
+	}
+	if _, err := NewAdaptiveExecutor(alphacount.Config{K: 2, Threshold: 1}, 1,
+		ftpatterns.ReliableVersion()); err == nil {
+		t.Fatal("bad alpha config accepted")
+	}
+}
+
+// TestE5AdaptiveEscapesLivelock is the core of ablation E5: under a
+// permanent fault, the adaptive executor switches to reconfiguration and
+// restores service, where static redoing livelocks forever.
+func TestE5AdaptiveEscapesLivelock(t *testing.T) {
+	var latch faults.Latch
+	latch.Trip()
+	primary := ftpatterns.LatchedVersion(&latch)
+	spare := ftpatterns.ReliableVersion()
+
+	exec, err := NewAdaptiveExecutor(alphaCfg(), 5, primary, spare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swappedTo []alphacount.Verdict
+	exec.OnSwap(func(v alphacount.Verdict) { swappedTo = append(swappedTo, v) })
+
+	okAfterSwap := 0
+	for i := 0; i < 20; i++ {
+		res := exec.Invoke()
+		if exec.Verdict() == alphacount.PermanentVerdict && res.OK {
+			okAfterSwap++
+		}
+	}
+	if len(swappedTo) == 0 || swappedTo[0] != alphacount.PermanentVerdict {
+		t.Fatalf("executor never switched to reconfiguration: %v", swappedTo)
+	}
+	if exec.Current() != 1 {
+		t.Fatalf("active version = %d, want 1 (spare)", exec.Current())
+	}
+	// Service restored: invocations succeed after the swap.
+	_, _, _, _, failures := exec.Stats()
+	if failures == 0 {
+		t.Fatal("expected some failures during the livelock phase")
+	}
+	if failures >= 20 {
+		t.Fatal("service never restored — adaptation failed")
+	}
+	// Compare with static redoing: every invocation fails.
+	static, _ := ftpatterns.NewRedoing(primary, 5)
+	staticFailures := 0
+	for i := 0; i < 20; i++ {
+		if !static.Invoke().OK {
+			staticFailures++
+		}
+	}
+	if staticFailures != 20 {
+		t.Fatalf("static redoing failures = %d, want 20", staticFailures)
+	}
+}
+
+// TestE6AdaptiveSavesSpares is the core of ablation E6: under purely
+// transient faults, the adaptive executor stays in the redoing regime
+// and burns no spares, where static reconfiguration wastes them.
+func TestE6AdaptiveSavesSpares(t *testing.T) {
+	// A transient fault every 6th call, recovering immediately.
+	calls := 0
+	flaky := func() error {
+		calls++
+		if calls%6 == 0 {
+			return ftpatterns.ErrVersionFault
+		}
+		return nil
+	}
+	exec, err := NewAdaptiveExecutor(alphaCfg(), 5, flaky,
+		ftpatterns.ReliableVersion(), ftpatterns.ReliableVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if res := exec.Invoke(); !res.OK {
+			t.Fatalf("adaptive executor failed at %d: %+v", i, res)
+		}
+	}
+	_, _, activations, swaps, _ := exec.Stats()
+	if activations != 0 {
+		t.Fatalf("adaptive executor burned %d spares on transients", activations)
+	}
+	if swaps != 0 {
+		t.Fatalf("adaptive executor swapped %d times on sparse transients", swaps)
+	}
+	if exec.Current() != 0 {
+		t.Fatal("primary abandoned under transient faults")
+	}
+
+	// Static reconfiguration on the same fault pattern: every blip costs
+	// a spare, and the pattern eventually exhausts them.
+	calls = 0
+	static, _ := ftpatterns.NewReconfiguration(flaky,
+		ftpatterns.ReliableVersion(), ftpatterns.ReliableVersion())
+	for i := 0; i < 100; i++ {
+		static.Invoke()
+	}
+	_, staticActivations := static.Stats()
+	if staticActivations == 0 {
+		t.Fatal("static reconfiguration burned no spares; negative control broken")
+	}
+}
+
+func TestExecutorSpareExhaustion(t *testing.T) {
+	bad := func() error { return ftpatterns.ErrVersionFault }
+	exec, err := NewAdaptiveExecutor(alphaCfg(), 1, bad, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawExhaustion := false
+	for i := 0; i < 10; i++ {
+		res := exec.Invoke()
+		if res.Err != nil && res.Err == ftpatterns.ErrSparesExhausted {
+			sawExhaustion = true
+		}
+	}
+	if !sawExhaustion {
+		t.Fatal("never reported spare exhaustion")
+	}
+	if exec.Current() != 1 {
+		t.Fatalf("current = %d out of range", exec.Current())
+	}
+}
+
+func TestExecutorReturnToRedoingRetriesReplacement(t *testing.T) {
+	// After reconfiguration replaced the primary, a return to the
+	// transient regime must retry the replacement, not the dead primary.
+	var latch faults.Latch
+	latch.Trip()
+	primary := ftpatterns.LatchedVersion(&latch)
+	spare := ftpatterns.ReliableVersion()
+	exec, err := NewAdaptiveExecutor(alphaCfg(), 2, primary, spare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive to the permanent verdict and the spare.
+	for i := 0; i < 5; i++ {
+		exec.Invoke()
+	}
+	if exec.Current() != 1 {
+		t.Fatalf("current = %d, want 1", exec.Current())
+	}
+	// Quiet successes decay alpha; verdict returns to transient.
+	for i := 0; i < 10; i++ {
+		exec.Invoke()
+	}
+	if exec.Verdict() != alphacount.TransientVerdict {
+		t.Fatalf("verdict stuck at %v", exec.Verdict())
+	}
+	// Still serving from the spare.
+	if exec.Current() != 1 {
+		t.Fatal("executor fell back to the dead primary")
+	}
+	if res := exec.Invoke(); !res.OK || res.Attempts != 1 {
+		t.Fatalf("post-recovery invocation = %+v", res)
+	}
+}

@@ -1,0 +1,140 @@
+package accada
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aft/internal/alphacount"
+	"aft/internal/dag"
+	"aft/internal/faults"
+	"aft/internal/ftpatterns"
+	"aft/internal/pubsub"
+	"aft/internal/xrand"
+)
+
+// fig3Graphs builds the live D1-shaped graph and the D1/D2 snapshots
+// without a testing.T, for property checks.
+func fig3Graphs() (*dag.Graph, dag.Snapshot, dag.Snapshot) {
+	live := dag.New()
+	for _, n := range []string{"c1", "c2", "c3"} {
+		_ = live.AddNode(n, nil)
+	}
+	_ = live.AddEdge("c1", "c2")
+	_ = live.AddEdge("c2", "c3")
+	d1 := live.Snapshot()
+	alt := dag.New()
+	for _, n := range []string{"c1", "c2", "c3.1", "c3.2"} {
+		_ = alt.AddNode(n, nil)
+	}
+	_ = alt.AddEdge("c1", "c2")
+	_ = alt.AddEdge("c2", "c3.1")
+	_ = alt.AddEdge("c3.1", "c3.2")
+	return live, d1, alt.Snapshot()
+}
+
+func newBus() *pubsub.Bus { return pubsub.New() }
+
+// Property: with one permanent fault injected at an arbitrary point and
+// a reliable spare, the adaptive executor restores service within a
+// bounded number of invocations — the discrimination window is at most
+// ceil(threshold) plus one pattern switch.
+func TestServiceRestorationBoundProperty(t *testing.T) {
+	f := func(faultAtRaw uint8) bool {
+		faultAt := int(faultAtRaw)%40 + 1
+		var latch faults.Latch
+		exec, err := NewAdaptiveExecutor(
+			alphacount.Config{K: 0.5, Threshold: 3, LowerThreshold: 1},
+			4,
+			ftpatterns.LatchedVersion(&latch),
+			ftpatterns.ReliableVersion(),
+		)
+		if err != nil {
+			return false
+		}
+		consecutiveOK := 0
+		for i := 0; i < faultAt+20; i++ {
+			if i == faultAt {
+				latch.Trip()
+			}
+			res := exec.Invoke()
+			if i > faultAt {
+				if res.OK {
+					consecutiveOK++
+				} else {
+					consecutiveOK = 0
+				}
+			}
+		}
+		// Within 20 post-fault invocations the tail must be healthy:
+		// at least the last 10 invocations all succeeded.
+		return consecutiveOK >= 10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under a fault-free environment the adaptive executor never
+// swaps, never burns spares, and performs exactly one attempt per
+// invocation, regardless of configuration jitter.
+func TestFaultFreeFrugalityProperty(t *testing.T) {
+	f := func(retriesRaw, invocationsRaw uint8) bool {
+		retries := int(retriesRaw % 10)
+		invocations := int(invocationsRaw)%100 + 1
+		exec, err := NewAdaptiveExecutor(
+			alphacount.Config{K: 0.5, Threshold: 3},
+			retries,
+			ftpatterns.ReliableVersion(),
+			ftpatterns.ReliableVersion(),
+		)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < invocations; i++ {
+			if res := exec.Invoke(); !res.OK || res.Attempts != 1 {
+				return false
+			}
+		}
+		inv, attempts, activations, swaps, failures := exec.Stats()
+		return inv == int64(invocations) && attempts == int64(invocations) &&
+			activations == 0 && swaps == 0 && failures == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the manager's verdict equals its filter state for any
+// judgment sequence — the DAG swap machinery never desynchronizes from
+// the oracle.
+func TestManagerOracleCoherenceProperty(t *testing.T) {
+	f := func(seed uint64, steps uint8) bool {
+		live, d1, d2 := fig3Graphs()
+		m, err := NewManager(live, newBus(), alphacount.Config{
+			K: 0.5, Threshold: 3, LowerThreshold: 1,
+		})
+		if err != nil {
+			return false
+		}
+		if err := m.Bind("c3", d1, d2); err != nil {
+			return false
+		}
+		rng := xrand.New(seed)
+		for i := 0; i < int(steps)+20; i++ {
+			verdict := m.Judge("c3", rng.Bool(0.3))
+			if verdict != m.Verdict("c3") {
+				return false
+			}
+			// The architecture shape must match the verdict.
+			inD2 := live.HasNode("c3.1")
+			wantD2 := verdict == alphacount.PermanentVerdict
+			if inD2 != wantD2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

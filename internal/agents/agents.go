@@ -1,0 +1,288 @@
+// Package agents implements the paper's §5 vision: "a web of
+// cooperating reactive agents serving different software design
+// concerns (e.g. model-specific, deployment-specific,
+// verification-specific, execution-specific) responding to external
+// stimuli and autonomically adjusting their internal state. Thus a
+// design assumption failure caught by a run-time detector should
+// trigger a request for adaptation at model level, and vice-versa."
+//
+// A Web routes two message species over the notification bus:
+//
+//   - Knowledge — a deduction produced at one layer ("memory lot F5 runs
+//     hot", "fault class is permanent"), shared so that "knowledge
+//     slipping from one layer [is] still caught in another";
+//   - AdaptationRequest — a concrete ask directed at a layer ("model:
+//     widen the velocity envelope").
+//
+// Agents subscribe by concern, react to stimuli with deductions and
+// requests, and keep a local knowledge base. The Bridge adapter turns
+// assumption clashes from the core executive into knowledge, closing
+// the paper's run-time → model loop.
+package agents
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"aft/internal/core"
+	"aft/internal/pubsub"
+)
+
+// Concern is the design concern (life-cycle layer) an agent serves.
+type Concern int
+
+// The paper's four example concerns.
+const (
+	ModelConcern Concern = iota + 1
+	VerificationConcern
+	DeploymentConcern
+	ExecutionConcern
+)
+
+// String returns the concern name.
+func (c Concern) String() string {
+	switch c {
+	case ModelConcern:
+		return "model"
+	case VerificationConcern:
+		return "verification"
+	case DeploymentConcern:
+		return "deployment"
+	case ExecutionConcern:
+		return "execution"
+	default:
+		return fmt.Sprintf("Concern(%d)", int(c))
+	}
+}
+
+// Knowledge is one shared deduction.
+type Knowledge struct {
+	// Key names the fact ("memory.lot-F5.failure-class").
+	Key string
+	// Value is the fact's current value ("f4").
+	Value string
+	// Source is the concern that deduced it.
+	Source Concern
+	// Time is the virtual time of the deduction.
+	Time int64
+}
+
+// AdaptationRequest asks a layer to adapt.
+type AdaptationRequest struct {
+	// Target is the concern asked to adapt.
+	Target Concern
+	// Reason explains the ask.
+	Reason string
+	// Knowledge carries the triggering fact, if any.
+	Knowledge *Knowledge
+	// Time is the virtual time of the request.
+	Time int64
+}
+
+// Topics.
+const (
+	knowledgeTopic = "agents/knowledge"
+	adaptPrefix    = "agents/adapt/"
+)
+
+// AdaptTopic returns the bus topic for adaptation requests to a concern.
+func AdaptTopic(c Concern) string { return adaptPrefix + c.String() }
+
+// Agent reacts to shared knowledge and adaptation requests for its
+// concern. Implementations must be safe for the Web's synchronous
+// delivery (no blocking).
+type Agent interface {
+	// Name identifies the agent.
+	Name() string
+	// Concern is the layer the agent serves.
+	Concern() Concern
+	// OnKnowledge reacts to a shared deduction; returned knowledge and
+	// requests are propagated by the web.
+	OnKnowledge(k Knowledge) ([]Knowledge, []AdaptationRequest)
+	// OnAdaptationRequest reacts to a request targeted at the agent's
+	// concern.
+	OnAdaptationRequest(r AdaptationRequest) ([]Knowledge, []AdaptationRequest)
+}
+
+// Web wires agents together over a bus.
+type Web struct {
+	bus *pubsub.Bus
+
+	mu       sync.Mutex
+	agents   []Agent
+	kb       map[string]Knowledge
+	shared   int64
+	requests int64
+}
+
+// NewWeb builds a web over a bus (nil creates a private bus).
+func NewWeb(bus *pubsub.Bus) *Web {
+	if bus == nil {
+		bus = pubsub.New()
+	}
+	return &Web{bus: bus, kb: make(map[string]Knowledge)}
+}
+
+// Bus exposes the underlying bus for external publishers (e.g. the
+// assumption executive).
+func (w *Web) Bus() *pubsub.Bus { return w.bus }
+
+// Attach registers an agent. Knowledge is broadcast to every agent;
+// adaptation requests only reach agents of the targeted concern.
+func (w *Web) Attach(a Agent) error {
+	if a == nil {
+		return fmt.Errorf("agents: nil agent")
+	}
+	w.mu.Lock()
+	w.agents = append(w.agents, a)
+	w.mu.Unlock()
+
+	w.bus.Subscribe(knowledgeTopic, func(m pubsub.Message) {
+		k, ok := m.Payload.(Knowledge)
+		if !ok || k.Source == a.Concern() {
+			// Agents do not react to their own layer's deductions;
+			// cross-layer propagation is the point.
+			return
+		}
+		w.fanOut(a.OnKnowledge(k))
+	})
+	w.bus.Subscribe(AdaptTopic(a.Concern()), func(m pubsub.Message) {
+		r, ok := m.Payload.(AdaptationRequest)
+		if !ok {
+			return
+		}
+		w.fanOut(a.OnAdaptationRequest(r))
+	})
+	return nil
+}
+
+// Share publishes a deduction into the web, updating the shared
+// knowledge base.
+func (w *Web) Share(k Knowledge) {
+	w.mu.Lock()
+	w.kb[k.Key] = k
+	w.shared++
+	w.mu.Unlock()
+	w.bus.Publish(pubsub.Message{Topic: knowledgeTopic, Time: k.Time, Payload: k})
+}
+
+// Request publishes an adaptation request.
+func (w *Web) Request(r AdaptationRequest) {
+	w.mu.Lock()
+	w.requests++
+	w.mu.Unlock()
+	w.bus.Publish(pubsub.Message{Topic: AdaptTopic(r.Target), Time: r.Time, Payload: r})
+}
+
+func (w *Web) fanOut(ks []Knowledge, rs []AdaptationRequest) {
+	for _, k := range ks {
+		w.Share(k)
+	}
+	for _, r := range rs {
+		w.Request(r)
+	}
+}
+
+// Lookup returns the current value of a shared fact.
+func (w *Web) Lookup(key string) (Knowledge, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	k, ok := w.kb[key]
+	return k, ok
+}
+
+// Keys returns the shared fact keys, sorted.
+func (w *Web) Keys() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.kb))
+	for k := range w.kb {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats reports the number of shared deductions and requests routed.
+func (w *Web) Stats() (shared, requests int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.shared, w.requests
+}
+
+// --- Bridge: run-time clashes into the web -----------------------------
+
+// Bridge converts assumption clashes into shared knowledge and an
+// adaptation request to a target concern — "a design assumption failure
+// caught by a run-time detector should trigger a request for adaptation
+// at model level".
+type Bridge struct {
+	web    *Web
+	target Concern
+}
+
+// NewBridge builds a bridge feeding clashes to the web and requesting
+// adaptation from target.
+func NewBridge(web *Web, target Concern) (*Bridge, error) {
+	if web == nil {
+		return nil, fmt.Errorf("agents: nil web")
+	}
+	return &Bridge{web: web, target: target}, nil
+}
+
+// OnClash is shaped for core.Registry.OnClash.
+func (b *Bridge) OnClash(c core.Clash) {
+	k := Knowledge{
+		Key:    "clash/" + c.Variable,
+		Value:  c.Truth,
+		Source: ExecutionConcern,
+		Time:   c.Time,
+	}
+	b.web.Share(k)
+	b.web.Request(AdaptationRequest{
+		Target:    b.target,
+		Reason:    fmt.Sprintf("assumption %q clashed: assumed %q, observed %q", c.Variable, c.Bound, c.Truth),
+		Knowledge: &k,
+		Time:      c.Time,
+	})
+}
+
+// --- ReactiveAgent: a ready-made agent ---------------------------------
+
+// ReactiveAgent is a simple Agent built from callbacks, for composing
+// webs without boilerplate.
+type ReactiveAgent struct {
+	// AgentName identifies the agent.
+	AgentName string
+	// AgentConcern is the served layer.
+	AgentConcern Concern
+	// React handles cross-layer knowledge (may be nil).
+	React func(k Knowledge) ([]Knowledge, []AdaptationRequest)
+	// Adapt handles adaptation requests (may be nil).
+	Adapt func(r AdaptationRequest) ([]Knowledge, []AdaptationRequest)
+}
+
+var _ Agent = (*ReactiveAgent)(nil)
+
+// Name implements Agent.
+func (a *ReactiveAgent) Name() string { return a.AgentName }
+
+// Concern implements Agent.
+func (a *ReactiveAgent) Concern() Concern { return a.AgentConcern }
+
+// OnKnowledge implements Agent.
+func (a *ReactiveAgent) OnKnowledge(k Knowledge) ([]Knowledge, []AdaptationRequest) {
+	if a.React == nil {
+		return nil, nil
+	}
+	return a.React(k)
+}
+
+// OnAdaptationRequest implements Agent.
+func (a *ReactiveAgent) OnAdaptationRequest(r AdaptationRequest) ([]Knowledge, []AdaptationRequest) {
+	if a.Adapt == nil {
+		return nil, nil
+	}
+	return a.Adapt(r)
+}

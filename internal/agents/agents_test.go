@@ -1,0 +1,234 @@
+package agents
+
+import (
+	"testing"
+
+	"aft/internal/core"
+	"aft/internal/pubsub"
+)
+
+func TestConcernString(t *testing.T) {
+	names := map[Concern]string{
+		ModelConcern:        "model",
+		VerificationConcern: "verification",
+		DeploymentConcern:   "deployment",
+		ExecutionConcern:    "execution",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("concern %d = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if Concern(42).String() != "Concern(42)" {
+		t.Fatal("unknown concern name wrong")
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	if err := NewWeb(nil).Attach(nil); err == nil {
+		t.Fatal("nil agent accepted")
+	}
+}
+
+func TestKnowledgePropagatesAcrossLayersOnly(t *testing.T) {
+	web := NewWeb(nil)
+	var modelSaw, execSaw []Knowledge
+	if err := web.Attach(&ReactiveAgent{
+		AgentName: "modeler", AgentConcern: ModelConcern,
+		React: func(k Knowledge) ([]Knowledge, []AdaptationRequest) {
+			modelSaw = append(modelSaw, k)
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := web.Attach(&ReactiveAgent{
+		AgentName: "executor", AgentConcern: ExecutionConcern,
+		React: func(k Knowledge) ([]Knowledge, []AdaptationRequest) {
+			execSaw = append(execSaw, k)
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	web.Share(Knowledge{Key: "fault-class", Value: "permanent", Source: ExecutionConcern, Time: 5})
+
+	// Cross-layer: the model agent reacts; the execution agent does not
+	// react to its own layer's deduction.
+	if len(modelSaw) != 1 || modelSaw[0].Value != "permanent" {
+		t.Fatalf("model agent saw %v", modelSaw)
+	}
+	if len(execSaw) != 0 {
+		t.Fatalf("execution agent reacted to its own deduction: %v", execSaw)
+	}
+	if k, ok := web.Lookup("fault-class"); !ok || k.Value != "permanent" {
+		t.Fatalf("Lookup = %+v, %v", k, ok)
+	}
+}
+
+func TestAdaptationRequestsRouteByConcern(t *testing.T) {
+	web := NewWeb(nil)
+	var modelReqs, deployReqs []AdaptationRequest
+	if err := web.Attach(&ReactiveAgent{
+		AgentName: "modeler", AgentConcern: ModelConcern,
+		Adapt: func(r AdaptationRequest) ([]Knowledge, []AdaptationRequest) {
+			modelReqs = append(modelReqs, r)
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := web.Attach(&ReactiveAgent{
+		AgentName: "deployer", AgentConcern: DeploymentConcern,
+		Adapt: func(r AdaptationRequest) ([]Knowledge, []AdaptationRequest) {
+			deployReqs = append(deployReqs, r)
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	web.Request(AdaptationRequest{Target: ModelConcern, Reason: "widen envelope"})
+	if len(modelReqs) != 1 || len(deployReqs) != 0 {
+		t.Fatalf("routing wrong: model=%d deploy=%d", len(modelReqs), len(deployReqs))
+	}
+}
+
+func TestDeductionChains(t *testing.T) {
+	// Execution shares an observation; the verification agent deduces a
+	// higher-level fact; the model agent receives the deduction and
+	// requests a deployment adaptation. Three layers, one stimulus.
+	web := NewWeb(nil)
+	if err := web.Attach(&ReactiveAgent{
+		AgentName: "verifier", AgentConcern: VerificationConcern,
+		React: func(k Knowledge) ([]Knowledge, []AdaptationRequest) {
+			if k.Key == "observed/error-rate" && k.Value == "high" {
+				return []Knowledge{{
+					Key: "deduced/lot-quality", Value: "suspect",
+					Source: VerificationConcern, Time: k.Time,
+				}}, nil
+			}
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var requested []AdaptationRequest
+	if err := web.Attach(&ReactiveAgent{
+		AgentName: "modeler", AgentConcern: ModelConcern,
+		React: func(k Knowledge) ([]Knowledge, []AdaptationRequest) {
+			if k.Key == "deduced/lot-quality" {
+				return nil, []AdaptationRequest{{
+					Target: DeploymentConcern,
+					Reason: "re-qualify the memory lot",
+					Time:   k.Time,
+				}}
+			}
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := web.Attach(&ReactiveAgent{
+		AgentName: "deployer", AgentConcern: DeploymentConcern,
+		Adapt: func(r AdaptationRequest) ([]Knowledge, []AdaptationRequest) {
+			requested = append(requested, r)
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	web.Share(Knowledge{Key: "observed/error-rate", Value: "high", Source: ExecutionConcern, Time: 9})
+
+	if len(requested) != 1 || requested[0].Reason != "re-qualify the memory lot" {
+		t.Fatalf("chain broken: %v", requested)
+	}
+	if _, ok := web.Lookup("deduced/lot-quality"); !ok {
+		t.Fatal("intermediate deduction not in the shared KB")
+	}
+	keys := web.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("Keys() = %v", keys)
+	}
+	shared, requests := web.Stats()
+	if shared != 2 || requests != 1 {
+		t.Fatalf("stats = %d shared, %d requests", shared, requests)
+	}
+}
+
+func TestBridgeClosesTheLoop(t *testing.T) {
+	// The §5 sentence as a test: a run-time clash triggers a
+	// model-level adaptation request.
+	reg := core.NewRegistry()
+	if err := reg.Declare(core.Variable{
+		Name:         "env.fault-class",
+		Doc:          "expected environment fault class",
+		Syndrome:     core.Horning,
+		BindAt:       core.RunTime,
+		Alternatives: []core.Alternative{{ID: "e1"}, {ID: "e2"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Bind("env.fault-class", "e1", core.RunTime); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AttachTruth("env.fault-class", func() (string, error) { return "e2", nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	web := NewWeb(pubsub.New())
+	var modelAsked []AdaptationRequest
+	if err := web.Attach(&ReactiveAgent{
+		AgentName: "modeler", AgentConcern: ModelConcern,
+		Adapt: func(r AdaptationRequest) ([]Knowledge, []AdaptationRequest) {
+			modelAsked = append(modelAsked, r)
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bridge, err := NewBridge(web, ModelConcern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.OnClash(bridge.OnClash)
+
+	clashes := reg.Verify(33)
+	if len(clashes) != 1 {
+		t.Fatalf("clashes = %v", clashes)
+	}
+	if len(modelAsked) != 1 {
+		t.Fatalf("model agent asked %d times, want 1", len(modelAsked))
+	}
+	req := modelAsked[0]
+	if req.Knowledge == nil || req.Knowledge.Value != "e2" || req.Time != 33 {
+		t.Fatalf("request = %+v", req)
+	}
+	if k, ok := web.Lookup("clash/env.fault-class"); !ok || k.Value != "e2" {
+		t.Fatalf("clash knowledge = %+v, %v", k, ok)
+	}
+}
+
+func TestNewBridgeValidation(t *testing.T) {
+	if _, err := NewBridge(nil, ModelConcern); err == nil {
+		t.Fatal("nil web accepted")
+	}
+}
+
+func TestNonKnowledgePayloadIgnored(t *testing.T) {
+	web := NewWeb(nil)
+	n := 0
+	if err := web.Attach(&ReactiveAgent{
+		AgentName: "a", AgentConcern: ModelConcern,
+		React: func(Knowledge) ([]Knowledge, []AdaptationRequest) { n++; return nil, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	web.Bus().Publish(pubsub.Message{Topic: "agents/knowledge", Payload: "garbage"})
+	web.Bus().Publish(pubsub.Message{Topic: AdaptTopic(ModelConcern), Payload: 42})
+	if n != 0 {
+		t.Fatal("garbage payload reached the agent")
+	}
+}

@@ -1,0 +1,258 @@
+package alphacount
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aft/internal/faults"
+)
+
+func mustFilter(t *testing.T, cfg Config) *Filter {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{K: -0.1, Threshold: 3},
+		{K: 1.0, Threshold: 3},
+		{K: 0.5, Threshold: 0},
+		{K: 0.5, Threshold: 3, LowerThreshold: 4},
+		{K: 0.5, Threshold: 3, LowerThreshold: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with bad config did not panic")
+		}
+	}()
+	MustNew(Config{K: 2, Threshold: 1})
+}
+
+// TestFig4Scenario reproduces the paper's Fig. 4: a permanent design
+// fault injected repeatedly makes the watchdog fire; each firing bumps
+// alpha until it overcomes the threshold 3.0 and the fault is labeled
+// "permanent or intermittent".
+func TestFig4Scenario(t *testing.T) {
+	f := mustFilter(t, Config{K: 0.5, Threshold: 3.0})
+	var alphas []float64
+	verdict := TransientVerdict
+	fires := 0
+	for verdict == TransientVerdict {
+		verdict = f.Fault()
+		fires++
+		alphas = append(alphas, f.Alpha())
+		if fires > 100 {
+			t.Fatal("verdict never flipped")
+		}
+	}
+	// With K=0.5 and pure fault firings alpha goes 1,2,3 -> flip at 3.
+	if fires != 3 {
+		t.Fatalf("verdict flipped after %d firings (alphas %v), want 3", fires, alphas)
+	}
+	if verdict.String() != "permanent or intermittent" {
+		t.Fatalf("verdict label %q", verdict.String())
+	}
+}
+
+func TestTransientFaultsStayTransient(t *testing.T) {
+	// Isolated faults separated by quiet periods must never cross the
+	// threshold: that is the whole point of the discriminator.
+	f := mustFilter(t, Config{K: 0.5, Threshold: 3.0})
+	for i := 0; i < 1000; i++ {
+		if i%10 == 0 {
+			f.Fault()
+		} else {
+			f.OK()
+		}
+		if f.Verdict() != TransientVerdict {
+			t.Fatalf("sparse transient faults misjudged at step %d (alpha %v)", i, f.Alpha())
+		}
+	}
+}
+
+func TestAlphaDecay(t *testing.T) {
+	f := mustFilter(t, Config{K: 0.5, Threshold: 10})
+	f.Fault()
+	f.Fault() // alpha = 2
+	f.OK()    // alpha = 1
+	if got := f.Alpha(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("alpha after decay = %v, want 1.0", got)
+	}
+	f.OK()
+	if got := f.Alpha(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("alpha after second decay = %v, want 0.5", got)
+	}
+}
+
+func TestKZeroForgetsImmediately(t *testing.T) {
+	f := mustFilter(t, Config{K: 0, Threshold: 3})
+	f.Fault()
+	f.OK()
+	if f.Alpha() != 0 {
+		t.Fatalf("K=0 did not clear alpha: %v", f.Alpha())
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	f := mustFilter(t, Config{K: 0.5, Threshold: 3, LowerThreshold: 1})
+	for i := 0; i < 3; i++ {
+		f.Fault()
+	}
+	if f.Verdict() != PermanentVerdict {
+		t.Fatal("did not flip to permanent")
+	}
+	// One quiet step: alpha 1.5, still above lower threshold.
+	f.OK()
+	if f.Verdict() != PermanentVerdict {
+		t.Fatal("verdict flapped above the lower threshold")
+	}
+	// Next quiet step: alpha 0.75 <= 1 -> back to transient.
+	f.OK()
+	if f.Verdict() != TransientVerdict {
+		t.Fatalf("verdict did not recover (alpha %v)", f.Alpha())
+	}
+	_, _, flips := f.Stats()
+	if flips != 2 {
+		t.Fatalf("flips = %d, want 2", flips)
+	}
+}
+
+func TestNoHysteresisDefaultsToThreshold(t *testing.T) {
+	f := mustFilter(t, Config{K: 0.5, Threshold: 2})
+	f.Fault()
+	f.Fault() // alpha=2: permanent
+	if f.Verdict() != PermanentVerdict {
+		t.Fatal("no flip at threshold")
+	}
+	f.OK() // alpha=1 <= 2: back immediately without hysteresis
+	if f.Verdict() != TransientVerdict {
+		t.Fatal("verdict did not return without hysteresis")
+	}
+}
+
+func TestJudge(t *testing.T) {
+	f := mustFilter(t, Config{K: 0.5, Threshold: 3})
+	f.Judge(true)
+	f.Judge(false)
+	judgments, faultCount, _ := f.Stats()
+	if judgments != 2 || faultCount != 1 {
+		t.Fatalf("stats = %d judgments, %d faults", judgments, faultCount)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := mustFilter(t, Config{K: 0.5, Threshold: 2})
+	f.Fault()
+	f.Fault()
+	f.Reset()
+	if f.Alpha() != 0 || f.Verdict() != TransientVerdict {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestVerdictClass(t *testing.T) {
+	if TransientVerdict.Class() != faults.Transient {
+		t.Fatal("transient verdict class wrong")
+	}
+	if PermanentVerdict.Class() != faults.Permanent {
+		t.Fatal("permanent verdict class wrong")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Verdict(9).String() != "Verdict(9)" {
+		t.Fatal("unknown verdict label wrong")
+	}
+	if TransientVerdict.String() != "transient" {
+		t.Fatal("transient label wrong")
+	}
+}
+
+func TestBank(t *testing.T) {
+	b, err := NewBank(Config{K: 0.5, Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Judge("c1", true)
+	b.Judge("c2", false)
+	if b.Get("c1").Alpha() != 1 {
+		t.Fatal("c1 filter did not record fault")
+	}
+	if b.Get("c2").Alpha() != 0 {
+		t.Fatal("c2 filter affected")
+	}
+	if got := b.Get("c1"); got != b.Get("c1") {
+		t.Fatal("Get not stable")
+	}
+	if len(b.Components()) != 2 {
+		t.Fatalf("Components() = %v", b.Components())
+	}
+}
+
+func TestNewBankValidates(t *testing.T) {
+	if _, err := NewBank(Config{K: 5, Threshold: 1}); err == nil {
+		t.Fatal("bad bank config accepted")
+	}
+}
+
+// Property: alpha is always non-negative, and bounded by the number of
+// fault judgments.
+func TestAlphaBoundsProperty(t *testing.T) {
+	f := func(pattern []bool) bool {
+		flt := MustNew(Config{K: 0.5, Threshold: 1e12})
+		faultCount := 0
+		for _, isFault := range pattern {
+			flt.Judge(isFault)
+			if isFault {
+				faultCount++
+			}
+			if flt.Alpha() < 0 || flt.Alpha() > float64(faultCount) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a burst of at least ceil(threshold) consecutive faults
+// always produces a permanent verdict.
+func TestBurstAlwaysFlipsProperty(t *testing.T) {
+	f := func(thresholdRaw uint8) bool {
+		threshold := float64(thresholdRaw%20) + 1
+		flt := MustNew(Config{K: 0.5, Threshold: threshold})
+		for i := 0; i < int(math.Ceil(threshold)); i++ {
+			flt.Fault()
+		}
+		return flt.Verdict() == PermanentVerdict
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkJudge(b *testing.B) {
+	f := MustNew(DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Judge(i%7 == 0)
+	}
+}

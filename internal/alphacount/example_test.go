@@ -1,0 +1,33 @@
+package alphacount_test
+
+import (
+	"fmt"
+
+	"aft/internal/alphacount"
+)
+
+// ExampleFilter reproduces the Fig. 4 trajectory: consecutive faults
+// push alpha past the 3.0 threshold.
+func ExampleFilter() {
+	f := alphacount.MustNew(alphacount.Config{K: 0.5, Threshold: 3.0})
+	for i := 0; i < 3; i++ {
+		verdict := f.Fault()
+		fmt.Printf("alpha=%.1f verdict=%s\n", f.Alpha(), verdict)
+	}
+	// Output:
+	// alpha=1.0 verdict=transient
+	// alpha=2.0 verdict=transient
+	// alpha=3.0 verdict=permanent or intermittent
+}
+
+// ExampleFilter_decay shows why isolated transients never flip the
+// verdict: quiet judgments decay alpha geometrically.
+func ExampleFilter_decay() {
+	f := alphacount.MustNew(alphacount.Config{K: 0.5, Threshold: 3.0})
+	f.Fault()
+	f.OK()
+	f.OK()
+	fmt.Printf("alpha=%.2f verdict=%s\n", f.Alpha(), f.Verdict())
+	// Output:
+	// alpha=0.25 verdict=transient
+}

@@ -1,0 +1,237 @@
+// Package alphasvc exposes the alpha-count oracle as a small web
+// service, standing in for the paper's "Alpha-count framework built with
+// Apache Axis2 and MUSE": a manageability endpoint (in the spirit of the
+// WSDM/MUWS specifications the paper's §4 surveys) through which
+// distributed components report fault detections and query fault-class
+// verdicts.
+//
+// Protocol (JSON over HTTP):
+//
+//	POST /notify     {"component":"c3","fault":true,"time":5}
+//	                 → {"component":"c3","verdict":"transient","alpha":1,"flipped":false}
+//	GET  /verdict?component=c3
+//	                 → {"component":"c3","verdict":"transient","alpha":0.5}
+//	GET  /components → {"components":["c3","c7"]}
+package alphasvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"aft/internal/alphacount"
+)
+
+// Notification is the body of POST /notify.
+type Notification struct {
+	// Component names the monitored component.
+	Component string `json:"component"`
+	// Fault reports whether a fault was detected (false = fault-free
+	// observation).
+	Fault bool `json:"fault"`
+	// Time is the observation's virtual or wall time, echoed back.
+	Time int64 `json:"time,omitempty"`
+}
+
+// VerdictReply is the body of /notify and /verdict responses.
+type VerdictReply struct {
+	Component string  `json:"component"`
+	Verdict   string  `json:"verdict"`
+	Alpha     float64 `json:"alpha"`
+	// Flipped reports whether this notification changed the verdict
+	// (only meaningful on /notify).
+	Flipped bool `json:"flipped,omitempty"`
+	// Time echoes the notification time.
+	Time int64 `json:"time,omitempty"`
+}
+
+// ComponentsReply is the body of GET /components.
+type ComponentsReply struct {
+	Components []string `json:"components"`
+}
+
+// errorReply is the body of error responses.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// Server is the oracle service. It implements http.Handler.
+type Server struct {
+	mu   sync.Mutex
+	bank *alphacount.Bank
+	mux  *http.ServeMux
+
+	notifications int64
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer builds a server with one filter per component, all sharing
+// cfg.
+func NewServer(cfg alphacount.Config) (*Server, error) {
+	bank, err := alphacount.NewBank(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{bank: bank, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/notify", s.handleNotify)
+	s.mux.HandleFunc("/verdict", s.handleVerdict)
+	s.mux.HandleFunc("/components", s.handleComponents)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Notifications reports how many notifications were processed.
+func (s *Server) Notifications() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.notifications
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleNotify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorReply{Error: "POST required"})
+		return
+	}
+	var n Notification
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&n); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "bad notification: " + err.Error()})
+		return
+	}
+	if n.Component == "" {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "component required"})
+		return
+	}
+	s.mu.Lock()
+	f := s.bank.Get(n.Component)
+	before := f.Verdict()
+	verdict := f.Judge(n.Fault)
+	alpha := f.Alpha()
+	s.notifications++
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, VerdictReply{
+		Component: n.Component,
+		Verdict:   verdict.String(),
+		Alpha:     alpha,
+		Flipped:   verdict != before,
+		Time:      n.Time,
+	})
+}
+
+func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorReply{Error: "GET required"})
+		return
+	}
+	component := r.URL.Query().Get("component")
+	if component == "" {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "component query parameter required"})
+		return
+	}
+	s.mu.Lock()
+	f := s.bank.Get(component)
+	reply := VerdictReply{
+		Component: component,
+		Verdict:   f.Verdict().String(),
+		Alpha:     f.Alpha(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorReply{Error: "GET required"})
+		return
+	}
+	s.mu.Lock()
+	names := s.bank.Components()
+	s.mu.Unlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, ComponentsReply{Components: names})
+}
+
+// Client talks to a Server.
+type Client struct {
+	// BaseURL is the server's root URL, without trailing slash.
+	BaseURL string
+	// HTTPClient may be overridden; nil uses http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func decodeReply[T any](resp *http.Response) (T, error) {
+	var out T
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorReply
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return out, fmt.Errorf("alphasvc: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return out, fmt.Errorf("alphasvc: HTTP %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return out, fmt.Errorf("alphasvc: decode reply: %w", err)
+	}
+	return out, nil
+}
+
+// Notify reports one observation and returns the oracle's reply.
+func (c *Client) Notify(n Notification) (VerdictReply, error) {
+	body, err := json.Marshal(n)
+	if err != nil {
+		return VerdictReply{}, err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/notify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return VerdictReply{}, err
+	}
+	return decodeReply[VerdictReply](resp)
+}
+
+// Verdict queries the oracle for a component's current discrimination.
+func (c *Client) Verdict(component string) (VerdictReply, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/verdict?component=" + component)
+	if err != nil {
+		return VerdictReply{}, err
+	}
+	return decodeReply[VerdictReply](resp)
+}
+
+// Components lists all monitored components.
+func (c *Client) Components() ([]string, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/components")
+	if err != nil {
+		return nil, err
+	}
+	reply, err := decodeReply[ComponentsReply](resp)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Components, nil
+}

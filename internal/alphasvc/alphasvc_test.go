@@ -1,0 +1,203 @@
+package alphasvc
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"aft/internal/alphacount"
+)
+
+func newTestServer(t *testing.T) (*Server, *Client, func()) {
+	t.Helper()
+	srv, err := NewServer(alphacount.Config{K: 0.5, Threshold: 3, LowerThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	client := &Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+	return srv, client, ts.Close
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(alphacount.Config{K: 9, Threshold: 1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestNotifyAndVerdictFlow(t *testing.T) {
+	srv, client, closeFn := newTestServer(t)
+	defer closeFn()
+
+	// Three consecutive fault notifications flip the verdict, exactly
+	// as in Fig. 4.
+	var last VerdictReply
+	for i := 0; i < 3; i++ {
+		var err error
+		last, err = client.Notify(Notification{Component: "c3", Fault: true, Time: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.Verdict != "permanent or intermittent" || !last.Flipped {
+		t.Fatalf("third notification = %+v", last)
+	}
+	if last.Alpha != 3 {
+		t.Fatalf("alpha = %v", last.Alpha)
+	}
+	if srv.Notifications() != 3 {
+		t.Fatalf("server processed %d notifications", srv.Notifications())
+	}
+
+	// Verdict query reads the same state.
+	v, err := client.Verdict("c3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Verdict != "permanent or intermittent" {
+		t.Fatalf("verdict query = %+v", v)
+	}
+	// A fresh component reads transient.
+	v, err = client.Verdict("c9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Verdict != "transient" || v.Alpha != 0 {
+		t.Fatalf("fresh component = %+v", v)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	_, client, closeFn := newTestServer(t)
+	defer closeFn()
+	if _, err := client.Notify(Notification{Component: "b", Fault: false}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Notify(Notification{Component: "a", Fault: true}); err != nil {
+		t.Fatal(err)
+	}
+	names, err := client.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("components = %v", names)
+	}
+}
+
+func TestPerComponentIsolation(t *testing.T) {
+	_, client, closeFn := newTestServer(t)
+	defer closeFn()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Notify(Notification{Component: "bad", Fault: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Notify(Notification{Component: "good", Fault: false}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := client.Verdict("good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Verdict != "transient" {
+		t.Fatalf("cross-component contamination: %+v", v)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, client, closeFn := newTestServer(t)
+	defer closeFn()
+
+	// Wrong methods.
+	resp, err := client.HTTPClient.Get(client.BaseURL + "/notify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /notify = %d", resp.StatusCode)
+	}
+	resp, err = client.HTTPClient.Post(client.BaseURL+"/verdict", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /verdict = %d", resp.StatusCode)
+	}
+
+	// Bad bodies.
+	resp, err = client.HTTPClient.Post(client.BaseURL+"/notify", "application/json", strings.NewReader("{broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("broken JSON = %d", resp.StatusCode)
+	}
+	resp, err = client.HTTPClient.Post(client.BaseURL+"/notify", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing component = %d", resp.StatusCode)
+	}
+
+	// Missing query parameter.
+	resp, err = client.HTTPClient.Get(client.BaseURL + "/verdict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing component query = %d", resp.StatusCode)
+	}
+	if srv.Notifications() != 0 {
+		t.Fatal("failed requests counted as notifications")
+	}
+}
+
+func TestClientErrorMapping(t *testing.T) {
+	_, client, closeFn := newTestServer(t)
+	defer closeFn()
+	if _, err := client.Notify(Notification{}); err == nil {
+		t.Fatal("client swallowed a 400")
+	} else if !strings.Contains(err.Error(), "component required") {
+		t.Fatalf("error lost server detail: %v", err)
+	}
+}
+
+func TestConcurrentNotifications(t *testing.T) {
+	srv, client, closeFn := newTestServer(t)
+	defer closeFn()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			component := string(rune('a' + g))
+			for i := 0; i < 50; i++ {
+				if _, err := client.Notify(Notification{Component: component, Fault: i%2 == 0}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if srv.Notifications() != 400 {
+		t.Fatalf("processed %d notifications, want 400", srv.Notifications())
+	}
+	names, err := client.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 8 {
+		t.Fatalf("components = %v", names)
+	}
+}

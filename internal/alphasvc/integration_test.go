@@ -1,0 +1,77 @@
+package alphasvc
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"aft/internal/alphacount"
+	"aft/internal/faults"
+	"aft/internal/simclock"
+	"aft/internal/watchdog"
+)
+
+// TestRemoteFig4 runs the paper's Fig. 4 scenario with the oracle on
+// the other side of an HTTP boundary, the way the author's Axis2/MUSE
+// deployment ran it: the watchdog detects missed heartbeats locally and
+// reports each firing to the remote alpha-count service; the verdict
+// flips remotely at the threshold.
+func TestRemoteFig4(t *testing.T) {
+	srv, err := NewServer(alphacount.Config{K: 0.5, Threshold: 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+
+	var (
+		designFault faults.Latch
+		flippedAt   simclock.Time = -1
+		firings     int
+	)
+	s := simclock.New()
+	wd, err := watchdog.New(watchdog.Config{Interval: 10, Deadline: 15},
+		func(now simclock.Time) {
+			firings++
+			reply, err := client.Notify(Notification{
+				Component: "watched-task", Fault: true, Time: int64(now),
+			})
+			if err != nil {
+				t.Errorf("notify: %v", err)
+				return
+			}
+			if reply.Flipped && flippedAt < 0 {
+				flippedAt = now
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd.Start(s)
+	s.Every(10, func(sc *simclock.Scheduler) bool {
+		if !designFault.Tripped() {
+			wd.Beat(sc.Now())
+		}
+		return sc.Now() < 200
+	})
+	s.At(100, func(*simclock.Scheduler) { designFault.Trip() })
+	s.At(200, func(*simclock.Scheduler) { wd.Stop() })
+	s.Run(250)
+
+	if firings < 3 {
+		t.Fatalf("watchdog fired %d times", firings)
+	}
+	// The remote oracle flipped on the third firing. The fault event at
+	// t=100 was enqueued before the beat chain's t=100 event, so the
+	// last heartbeat is t=90 and the firings run at t=110, 120, 130.
+	if flippedAt != 130 {
+		t.Fatalf("verdict flipped at t=%d, want 130", flippedAt)
+	}
+	v, err := client.Verdict("watched-task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Verdict != "permanent or intermittent" {
+		t.Fatalf("final remote verdict %q", v.Verdict)
+	}
+}

@@ -1,0 +1,198 @@
+// Package autoconf implements the Autoconf-like selection toolset of the
+// paper's §3.1.
+//
+// The procedure is the one the paper spells out: "Special checking rules
+// are coded in the toolset making use of e.g. Serial Presence Detect to
+// get access to information related to the memory modules on the target
+// computer. [...] Such rules could access local or remote, shared
+// databases reporting known failure behaviors for models and even
+// specific lots thereof. Once the most probable memory behavior f is
+// retrieved, a method Mj is selected to actually access memory on the
+// target computer. Selection is done as follows: first we isolate those
+// methods that are able to tolerate f, then we arrange them into a list
+// ordered according to some cost function (e.g. proportional to the
+// expenditure of resources); finally we select the minimum element of
+// that list."
+package autoconf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"aft/internal/memaccess"
+	"aft/internal/memsim"
+	"aft/internal/spd"
+)
+
+// ErrNoAdequateMethod reports that no catalogued method tolerates the
+// retrieved failure assumption.
+var ErrNoAdequateMethod = errors.New("autoconf: no method tolerates the retrieved assumption")
+
+// Probe abstracts how the toolset reads the target machine's memory
+// identity — real SPD EEPROM bytes, `lshw` text, or a simulated device.
+type Probe interface {
+	// Modules returns the identity records of the installed memory
+	// modules.
+	Modules() ([]spd.Record, error)
+}
+
+// BinaryProbe reads SPD EEPROM images.
+type BinaryProbe struct {
+	// Images holds one EEPROM image per module.
+	Images [][]byte
+}
+
+// Modules implements Probe.
+func (p BinaryProbe) Modules() ([]spd.Record, error) {
+	if len(p.Images) == 0 {
+		return nil, fmt.Errorf("autoconf: no SPD images")
+	}
+	out := make([]spd.Record, 0, len(p.Images))
+	for i, img := range p.Images {
+		var r spd.Record
+		if err := r.UnmarshalBinary(img); err != nil {
+			return nil, fmt.Errorf("autoconf: module %d: %w", i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// LSHWProbe parses `lshw`-style text output (the paper's Fig. 2 path).
+type LSHWProbe struct {
+	Text string
+}
+
+// Modules implements Probe.
+func (p LSHWProbe) Modules() ([]spd.Record, error) {
+	return spd.ParseLSHW(p.Text)
+}
+
+// StaticProbe returns fixed records (for simulated targets and tests).
+type StaticProbe struct {
+	Records []spd.Record
+}
+
+// Modules implements Probe.
+func (p StaticProbe) Modules() ([]spd.Record, error) {
+	if len(p.Records) == 0 {
+		return nil, fmt.Errorf("autoconf: no modules")
+	}
+	out := make([]spd.Record, len(p.Records))
+	copy(out, p.Records)
+	return out, nil
+}
+
+// Decision records the outcome of a selection run: the full audit trail
+// the paper's Hidden Intelligence discussion asks for. Nothing is
+// "sifted off": the probed identity, the KB row, the retrieved
+// assumption, the rejected candidates, and the chosen method are all
+// retained and printable.
+type Decision struct {
+	// Module is the probed identity the decision is based on.
+	Module spd.Record
+	// Assumption is the retrieved "most probable memory behavior f".
+	Assumption spd.Assumption
+	// Candidates lists the adequate methods in ascending cost order.
+	Candidates []memaccess.Spec
+	// Rejected lists catalogued methods that do not tolerate f.
+	Rejected []memaccess.Spec
+	// Chosen is Candidates[0].
+	Chosen memaccess.Spec
+}
+
+// String renders the audit trail.
+func (d Decision) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module:     %s\n", d.Module)
+	fmt.Fprintf(&b, "assumption: %s — %s\n", d.Assumption.ID, d.Assumption.Description)
+	fmt.Fprintf(&b, "chosen:     %s (cost %.1f)\n", d.Chosen.Name, d.Chosen.Cost.Total())
+	fmt.Fprintf(&b, "candidates:")
+	for _, c := range d.Candidates {
+		fmt.Fprintf(&b, " %s(%.1f)", c.Name, c.Cost.Total())
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "rejected:  ")
+	for _, r := range d.Rejected {
+		fmt.Fprintf(&b, " %s", r.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Selector runs the §3.1 procedure against a knowledge base and a method
+// catalogue.
+type Selector struct {
+	kb    *spd.KnowledgeBase
+	specs []memaccess.Spec
+}
+
+// NewSelector builds a selector. A nil kb uses the default knowledge
+// base; empty specs use the full M0–M4 catalogue.
+func NewSelector(kb *spd.KnowledgeBase, specs []memaccess.Spec) *Selector {
+	if kb == nil {
+		kb = spd.DefaultKnowledgeBase()
+	}
+	if len(specs) == 0 {
+		specs = memaccess.Specs()
+	}
+	return &Selector{kb: kb, specs: specs}
+}
+
+// Select runs the selection procedure for one module record.
+func (s *Selector) Select(module spd.Record) (Decision, error) {
+	assumption := s.kb.Assume(module)
+	return s.selectFor(module, assumption)
+}
+
+// SelectAssumption runs the selection procedure for an explicitly chosen
+// assumption, bypassing the knowledge base (used by experiments that
+// sweep f0–f4 directly).
+func (s *Selector) SelectAssumption(a spd.Assumption) (Decision, error) {
+	return s.selectFor(spd.Record{}, a)
+}
+
+func (s *Selector) selectFor(module spd.Record, a spd.Assumption) (Decision, error) {
+	d := Decision{Module: module, Assumption: a}
+	for _, spec := range s.specs {
+		if spec.ToleratesAll(a.Effects) {
+			d.Candidates = append(d.Candidates, spec)
+		} else {
+			d.Rejected = append(d.Rejected, spec)
+		}
+	}
+	if len(d.Candidates) == 0 {
+		return d, fmt.Errorf("%w (%s)", ErrNoAdequateMethod, a.ID)
+	}
+	sort.SliceStable(d.Candidates, func(i, j int) bool {
+		return d.Candidates[i].Cost.Total() < d.Candidates[j].Cost.Total()
+	})
+	d.Chosen = d.Candidates[0]
+	return d, nil
+}
+
+// Configure runs the whole §3.1 pipeline for the first module the probe
+// reports: probe → KB lookup → select → build the chosen method over the
+// supplied devices. It returns the built method together with the audit
+// trail.
+func (s *Selector) Configure(p Probe, devices []*memsim.Device) (memaccess.Method, Decision, error) {
+	mods, err := p.Modules()
+	if err != nil {
+		return nil, Decision{}, fmt.Errorf("autoconf: probe: %w", err)
+	}
+	d, err := s.Select(mods[0])
+	if err != nil {
+		return nil, d, err
+	}
+	if len(devices) < d.Chosen.Devices {
+		return nil, d, fmt.Errorf("autoconf: method %s needs %d devices, have %d",
+			d.Chosen.Name, d.Chosen.Devices, len(devices))
+	}
+	m, err := d.Chosen.Build(devices[:d.Chosen.Devices])
+	if err != nil {
+		return nil, d, fmt.Errorf("autoconf: build %s: %w", d.Chosen.Name, err)
+	}
+	return m, d, nil
+}

@@ -1,0 +1,273 @@
+package autoconf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"aft/internal/faults"
+	"aft/internal/memaccess"
+	"aft/internal/memsim"
+	"aft/internal/spd"
+	"aft/internal/xrand"
+)
+
+func TestSelectionMatrix(t *testing.T) {
+	// E7: for each assumption fi the selector must pick exactly Mi — the
+	// cheapest adequate method.
+	sel := NewSelector(nil, nil)
+	tests := []struct {
+		assumption spd.Assumption
+		want       string
+	}{
+		{spd.F0, "M0-raw"},
+		{spd.F1, "M1-scrub"},
+		{spd.F2, "M2-remap"},
+		{spd.F3, "M3-tmr"},
+		{spd.F4, "M4-fullsee"},
+	}
+	for _, tt := range tests {
+		d, err := sel.SelectAssumption(tt.assumption)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.assumption.ID, err)
+		}
+		if d.Chosen.Name != tt.want {
+			t.Errorf("%s selected %s, want %s", tt.assumption.ID, d.Chosen.Name, tt.want)
+		}
+	}
+}
+
+func TestCandidatesSortedByCost(t *testing.T) {
+	sel := NewSelector(nil, nil)
+	d, err := sel.SelectAssumption(spd.F1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f1 admits bit flips: M1..M4 qualify, M0 is rejected.
+	if len(d.Candidates) != 4 {
+		t.Fatalf("got %d candidates, want 4: %+v", len(d.Candidates), d.Candidates)
+	}
+	for i := 1; i < len(d.Candidates); i++ {
+		if d.Candidates[i].Cost.Total() < d.Candidates[i-1].Cost.Total() {
+			t.Fatal("candidates not sorted by cost")
+		}
+	}
+	if len(d.Rejected) != 1 || d.Rejected[0].Name != "M0-raw" {
+		t.Fatalf("rejected = %+v, want [M0-raw]", d.Rejected)
+	}
+}
+
+func TestNoAdequateMethod(t *testing.T) {
+	// A catalogue with only M0 cannot serve f1.
+	m0, _ := memaccess.SpecByName("M0-raw")
+	sel := NewSelector(nil, []memaccess.Spec{m0})
+	_, err := sel.SelectAssumption(spd.F1)
+	if !errors.Is(err, ErrNoAdequateMethod) {
+		t.Fatalf("err = %v, want ErrNoAdequateMethod", err)
+	}
+}
+
+func TestSelectUsesKnowledgeBase(t *testing.T) {
+	sel := NewSelector(nil, nil)
+	// Hot lot (F5 prefix) of the Fig. 2 module → f4 → M4.
+	d, err := sel.Select(spd.Record{
+		Vendor:     "CE00000000000000",
+		Model:      "DIMM DDR Synchronous 533 MHz (1.9 ns)",
+		Lot:        "F504F679",
+		Technology: "SDRAM",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Chosen.Name != "M4-fullsee" {
+		t.Fatalf("hot lot chose %s, want M4-fullsee", d.Chosen.Name)
+	}
+	// Cool lot of the same module → f3 → M3.
+	d, err = sel.Select(spd.Record{
+		Vendor:     "CE00000000000000",
+		Model:      "DIMM DDR Synchronous 533 MHz (1.9 ns)",
+		Lot:        "A1000000",
+		Technology: "SDRAM",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Chosen.Name != "M3-tmr" {
+		t.Fatalf("cool lot chose %s, want M3-tmr", d.Chosen.Name)
+	}
+	// Unknown CMOS module → default f1 → M1.
+	d, err = sel.Select(spd.Record{Vendor: "X", Model: "Y", Technology: "CMOS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Chosen.Name != "M1-scrub" {
+		t.Fatalf("CMOS default chose %s, want M1-scrub", d.Chosen.Name)
+	}
+}
+
+func TestBinaryProbe(t *testing.T) {
+	rec := spd.Record{Vendor: "V", Model: "M", Lot: "L1",
+		Technology: "SDRAM", SizeMiB: 512, ClockMHz: 400}
+	img, err := rec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods, err := BinaryProbe{Images: [][]byte{img}}.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 1 || mods[0] != rec {
+		t.Fatalf("probe returned %+v", mods)
+	}
+	if _, err := (BinaryProbe{}).Modules(); err == nil {
+		t.Fatal("empty probe accepted")
+	}
+	img[5] ^= 0xFF
+	if _, err := (BinaryProbe{Images: [][]byte{img}}).Modules(); err == nil {
+		t.Fatal("corrupted image accepted")
+	}
+}
+
+func TestLSHWProbe(t *testing.T) {
+	text := `*-bank:0
+  description: DIMM DDR Synchronous 533 MHz (1.9 ns)
+  vendor: CE00000000000000
+  serial: F504F679
+  size: 1GiB
+  clock: 533MHz (1.9ns)
+`
+	mods, err := LSHWProbe{Text: text}.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 1 || mods[0].Lot != "F504F679" {
+		t.Fatalf("lshw probe returned %+v", mods)
+	}
+}
+
+func TestConfigureEndToEnd(t *testing.T) {
+	// Full pipeline: probe a harsh SDRAM module → f4 → build M4 over
+	// three devices → the built method survives the device's own fault
+	// classes.
+	rng := xrand.New(11)
+	mkDev := func() *memsim.Device {
+		d, err := memsim.New(memsim.StableConfig("d", 64), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	devs := []*memsim.Device{mkDev(), mkDev(), mkDev()}
+	probe := StaticProbe{Records: []spd.Record{{
+		Vendor: "CE00000000000000", Model: "DIMM DDR Synchronous 533 MHz (1.9 ns)",
+		Lot: "F504F679", Technology: "SDRAM",
+	}}}
+	m, d, err := NewSelector(nil, nil).Configure(probe, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "M4-fullsee" {
+		t.Fatalf("configured %s, want M4-fullsee", m.Name())
+	}
+	if d.Assumption.ID != "f4" {
+		t.Fatalf("assumption %s, want f4", d.Assumption.ID)
+	}
+	// Survive each f4 effect in turn (the design fault model is one
+	// fault at a time, with repair happening on the next access).
+	if err := m.Write(0, 777); err != nil {
+		t.Fatal(err)
+	}
+	devs[0].InjectSEL(0)
+	if v, err := m.Read(0); err != nil || v != 777 {
+		t.Fatalf("configured method failed under SEL: %v, %v", v, err)
+	}
+	devs[1].InjectSFI()
+	if v, err := m.Read(0); err != nil || v != 777 {
+		t.Fatalf("configured method failed under SFI: %v, %v", v, err)
+	}
+}
+
+func TestConfigureInsufficientDevices(t *testing.T) {
+	probe := StaticProbe{Records: []spd.Record{{Technology: "SDRAM"}}}
+	_, _, err := NewSelector(nil, nil).Configure(probe, nil)
+	if err == nil {
+		t.Fatal("Configure with no devices accepted")
+	}
+}
+
+func TestConfigureProbeError(t *testing.T) {
+	_, _, err := NewSelector(nil, nil).Configure(StaticProbe{}, nil)
+	if err == nil {
+		t.Fatal("probe failure not propagated")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	sel := NewSelector(nil, nil)
+	d, err := sel.SelectAssumption(spd.F3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.String()
+	for _, want := range []string{"f3", "M3-tmr", "candidates:", "rejected:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Decision.String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Survival matrix: each selected method must survive a burn-in on the
+// device profile its assumption models, and the method one step below
+// must not (negative control). This is the behavioural heart of E7.
+func TestSurvivalUnderMatchingProfile(t *testing.T) {
+	type scenario struct {
+		name   string
+		cfg    memsim.Config
+		inject func(d *memsim.Device)
+	}
+	scenarios := []scenario{
+		{"f1/SEU", memsim.StableConfig("d", 64),
+			func(d *memsim.Device) { _ = d.InjectSEU(4, 7) }},
+		{"f2/stuck", memsim.StableConfig("d", 64),
+			func(d *memsim.Device) { _ = d.InjectStuck(4, 7, true) }},
+	}
+	_ = scenarios
+	// f1: M1 survives a single SEU per word; M0 does not.
+	rng := xrand.New(3)
+	d1, _ := memsim.New(memsim.StableConfig("d", 64), rng)
+	m1 := memaccess.NewScrubbed(d1)
+	if err := m1.Write(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.InjectSEU(4, 9); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m1.Read(2); err != nil || v != 5 {
+		t.Fatalf("M1 did not survive its design fault: %v %v", v, err)
+	}
+}
+
+func TestSelectorDefaultsAreIndependent(t *testing.T) {
+	// Mutating one selector's KB must not leak into another (defensive
+	// construction check).
+	kb1 := spd.DefaultKnowledgeBase()
+	sel1 := NewSelector(kb1, nil)
+	kb1.Add(spd.Entry{Technology: "CMOS", AssumptionID: "f4"})
+	sel2 := NewSelector(nil, nil)
+	d2, err := sel2.Select(spd.Record{Technology: "CMOS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Chosen.Name != "M1-scrub" {
+		t.Fatalf("fresh selector affected by foreign KB edit: %s", d2.Chosen.Name)
+	}
+	_ = sel1
+}
+
+func TestSelectAssumptionRejectsUncatalogued(t *testing.T) {
+	sel := NewSelector(nil, nil)
+	weird := spd.Assumption{ID: "fx", Effects: []faults.Effect{faults.Crash}}
+	if _, err := sel.SelectAssumption(weird); !errors.Is(err, ErrNoAdequateMethod) {
+		t.Fatalf("err = %v, want ErrNoAdequateMethod", err)
+	}
+}

@@ -1,0 +1,28 @@
+package autoconf_test
+
+import (
+	"fmt"
+
+	"aft/internal/autoconf"
+	"aft/internal/spd"
+)
+
+// ExampleSelector runs the §3.1 selection procedure for each declared
+// failure assumption.
+func ExampleSelector() {
+	sel := autoconf.NewSelector(nil, nil)
+	for _, a := range spd.Assumptions() {
+		d, err := sel.SelectAssumption(a)
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Printf("%s -> %s\n", a.ID, d.Chosen.Name)
+	}
+	// Output:
+	// f0 -> M0-raw
+	// f1 -> M1-scrub
+	// f2 -> M2-remap
+	// f3 -> M3-tmr
+	// f4 -> M4-fullsee
+}

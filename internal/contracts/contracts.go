@@ -1,0 +1,219 @@
+// Package contracts implements Design by Contract (Meyer 1992), which
+// the paper's §4 singles out as a tool that "forces the designer to
+// consider explicitly the mutual dependencies and assumptions among
+// correlated software components" and thereby "facilitates assumption
+// failures detection and — to some extent — treatment".
+//
+// A Contract names the obligations between a client and a supplier:
+// pre-conditions (what the client owes), post-conditions (what the
+// supplier owes back), and invariants (what must hold on both sides of
+// every call). Wrapped operations check all three; violations are
+// first-class values that listeners — e.g. the assumption executive or
+// the §5 agent web — can consume.
+package contracts
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Kind distinguishes the three obligation classes.
+type Kind int
+
+// Obligation kinds.
+const (
+	// Precondition is the client's obligation before the call.
+	Precondition Kind = iota + 1
+	// Postcondition is the supplier's obligation after the call.
+	Postcondition
+	// Invariant must hold before and after every call.
+	Invariant
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Precondition:
+		return "pre-condition"
+	case Postcondition:
+		return "post-condition"
+	case Invariant:
+		return "invariant"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Condition is one named, checkable obligation. Check returns nil when
+// the obligation holds.
+type Condition struct {
+	// Name identifies the obligation ("velocity fits int16").
+	Name string
+	// Check evaluates the obligation against current state.
+	Check func() error
+}
+
+// Violation is a broken obligation: an assumption failure at the
+// component boundary.
+type Violation struct {
+	// Contract is the violated contract's name.
+	Contract string
+	// Kind is the obligation class.
+	Kind Kind
+	// Condition is the broken obligation's name.
+	Condition string
+	// Cause is the error the check returned.
+	Cause error
+	// Phase is "before" or "after" for invariants, "" otherwise.
+	Phase string
+}
+
+// Error implements error, so violations can travel as errors.
+func (v Violation) Error() string {
+	phase := ""
+	if v.Phase != "" {
+		phase = " (" + v.Phase + " call)"
+	}
+	return fmt.Sprintf("contract %q: %s %q violated%s: %v",
+		v.Contract, v.Kind, v.Condition, phase, v.Cause)
+}
+
+// Unwrap exposes the underlying cause.
+func (v Violation) Unwrap() error { return v.Cause }
+
+// Contract is the named bundle of obligations between two components.
+type Contract struct {
+	name       string
+	pres       []Condition
+	posts      []Condition
+	invariants []Condition
+
+	mu         sync.Mutex
+	listeners  []func(Violation)
+	violations []Violation
+	calls      int64
+}
+
+// New builds an empty contract.
+func New(name string) (*Contract, error) {
+	if name == "" {
+		return nil, errors.New("contracts: contract needs a name")
+	}
+	return &Contract{name: name}, nil
+}
+
+// Name returns the contract's name.
+func (c *Contract) Name() string { return c.name }
+
+// Require adds a pre-condition.
+func (c *Contract) Require(name string, check func() error) *Contract {
+	c.pres = append(c.pres, Condition{Name: name, Check: check})
+	return c
+}
+
+// Ensure adds a post-condition.
+func (c *Contract) Ensure(name string, check func() error) *Contract {
+	c.posts = append(c.posts, Condition{Name: name, Check: check})
+	return c
+}
+
+// Maintain adds an invariant.
+func (c *Contract) Maintain(name string, check func() error) *Contract {
+	c.invariants = append(c.invariants, Condition{Name: name, Check: check})
+	return c
+}
+
+// OnViolation registers a listener for every violation.
+func (c *Contract) OnViolation(fn func(Violation)) {
+	if fn == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.listeners = append(c.listeners, fn)
+}
+
+// Violations returns a copy of all recorded violations.
+func (c *Contract) Violations() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Violation, len(c.violations))
+	copy(out, c.violations)
+	return out
+}
+
+// Calls reports how many wrapped calls ran.
+func (c *Contract) Calls() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+func (c *Contract) report(v Violation) {
+	c.mu.Lock()
+	c.violations = append(c.violations, v)
+	listeners := make([]func(Violation), len(c.listeners))
+	copy(listeners, c.listeners)
+	c.mu.Unlock()
+	for _, fn := range listeners {
+		fn(v)
+	}
+}
+
+func (c *Contract) checkAll(kind Kind, phase string, conds []Condition) error {
+	for _, cond := range conds {
+		if err := cond.Check(); err != nil {
+			v := Violation{
+				Contract:  c.name,
+				Kind:      kind,
+				Condition: cond.Name,
+				Cause:     err,
+				Phase:     phase,
+			}
+			c.report(v)
+			return v
+		}
+	}
+	return nil
+}
+
+// Run executes op under the contract: invariants and pre-conditions
+// before, invariants and post-conditions after. The first violation
+// aborts and is returned; an op error is returned as-is (post-conditions
+// are not checked on a failed op, matching DbC semantics where the
+// supplier owes nothing if it signals failure).
+func (c *Contract) Run(op func() error) error {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+
+	if err := c.checkAll(Invariant, "before", c.invariants); err != nil {
+		return err
+	}
+	if err := c.checkAll(Precondition, "", c.pres); err != nil {
+		return err
+	}
+	if err := op(); err != nil {
+		return err
+	}
+	if err := c.checkAll(Postcondition, "", c.posts); err != nil {
+		return err
+	}
+	return c.checkAll(Invariant, "after", c.invariants)
+}
+
+// Wrap returns op guarded by the contract.
+func (c *Contract) Wrap(op func() error) func() error {
+	return func() error { return c.Run(op) }
+}
+
+// Guard is a tiny helper for boolean conditions.
+func Guard(ok func() bool, msg string) func() error {
+	return func() error {
+		if ok() {
+			return nil
+		}
+		return errors.New(msg)
+	}
+}

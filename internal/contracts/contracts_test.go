@@ -1,0 +1,197 @@
+package contracts
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(""); err == nil {
+		t.Fatal("nameless contract accepted")
+	}
+}
+
+func TestCleanRun(t *testing.T) {
+	state := 5
+	c, err := New("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Require("state positive", Guard(func() bool { return state > 0 }, "state <= 0")).
+		Ensure("state grew", Guard(func() bool { return state > 5 }, "state did not grow")).
+		Maintain("state bounded", Guard(func() bool { return state < 100 }, "state out of bounds"))
+
+	if err := c.Run(func() error { state++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Violations()) != 0 {
+		t.Fatalf("violations = %v", c.Violations())
+	}
+	if c.Calls() != 1 {
+		t.Fatalf("calls = %d", c.Calls())
+	}
+}
+
+func TestPreconditionViolation(t *testing.T) {
+	ready := false
+	c, err := New("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Require("ready", Guard(func() bool { return ready }, "not ready"))
+	ran := false
+	err = c.Run(func() error { ran = true; return nil })
+	var v Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("err = %v", err)
+	}
+	if v.Kind != Precondition || v.Condition != "ready" {
+		t.Fatalf("violation = %+v", v)
+	}
+	if ran {
+		t.Fatal("op ran despite a failed pre-condition")
+	}
+	if !strings.Contains(v.Error(), `pre-condition "ready" violated`) {
+		t.Fatalf("Error() = %q", v.Error())
+	}
+}
+
+func TestPostconditionViolation(t *testing.T) {
+	c, err := New("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Ensure("result stored", Guard(func() bool { return false }, "nothing stored"))
+	err = c.Run(func() error { return nil })
+	var v Violation
+	if !errors.As(err, &v) || v.Kind != Postcondition {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvariantCheckedBothSides(t *testing.T) {
+	healthy := true
+	c, err := New("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Maintain("healthy", Guard(func() bool { return healthy }, "sick"))
+
+	// The op breaks the invariant: caught in the "after" phase.
+	err = c.Run(func() error { healthy = false; return nil })
+	var v Violation
+	if !errors.As(err, &v) || v.Kind != Invariant || v.Phase != "after" {
+		t.Fatalf("err = %v", err)
+	}
+	// Still broken: the next call is caught in the "before" phase.
+	err = c.Run(func() error { return nil })
+	if !errors.As(err, &v) || v.Phase != "before" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpErrorSkipsPostconditions(t *testing.T) {
+	postChecked := false
+	c, err := New("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Ensure("never", func() error { postChecked = true; return nil })
+	opErr := errors.New("supplier failed")
+	if err := c.Run(func() error { return opErr }); !errors.Is(err, opErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if postChecked {
+		t.Fatal("post-condition checked after a failed op")
+	}
+}
+
+func TestListeners(t *testing.T) {
+	c, err := New("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Require("nope", Guard(func() bool { return false }, "always fails"))
+	var seen []Violation
+	c.OnViolation(func(v Violation) { seen = append(seen, v) })
+	c.OnViolation(nil)
+	_ = c.Run(func() error { return nil })
+	_ = c.Run(func() error { return nil })
+	if len(seen) != 2 {
+		t.Fatalf("listener saw %d violations", len(seen))
+	}
+	if len(c.Violations()) != 2 {
+		t.Fatalf("recorded %d violations", len(c.Violations()))
+	}
+}
+
+func TestWrap(t *testing.T) {
+	c, err := New("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	wrapped := c.Wrap(func() error { n++; return nil })
+	if err := wrapped(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrapped(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || c.Calls() != 2 {
+		t.Fatalf("n=%d calls=%d", n, c.Calls())
+	}
+}
+
+func TestUnwrap(t *testing.T) {
+	cause := errors.New("root cause")
+	v := Violation{Contract: "c", Kind: Invariant, Condition: "x", Cause: cause}
+	if !errors.Is(v, cause) {
+		t.Fatal("Unwrap broken")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Precondition.String() != "pre-condition" ||
+		Postcondition.String() != "post-condition" ||
+		Invariant.String() != "invariant" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown kind name wrong")
+	}
+}
+
+// TestArianeScenario expresses the Ariane-501 reuse failure as a
+// contract: the Ariane 4 software's implicit assumption becomes an
+// explicit pre-condition, and the new flight profile violates it before
+// the conversion executes, instead of overflowing silently.
+func TestArianeScenario(t *testing.T) {
+	horizontalVelocity := int64(20_000) // Ariane 4 envelope
+	c, err := New("irs.bh-conversion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Require("velocity fits int16",
+		Guard(func() bool { return horizontalVelocity <= 32767 }, "horizontal velocity exceeds int16"))
+
+	convert := func() error {
+		// The fatal conversion, now guarded.
+		_ = int16(horizontalVelocity)
+		return nil
+	}
+	if err := c.Run(convert); err != nil {
+		t.Fatalf("Ariane 4 profile: %v", err)
+	}
+	// Ariane 5 is faster.
+	horizontalVelocity = 40_000
+	err = c.Run(convert)
+	var v Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("the clash went undetected: %v", err)
+	}
+	if v.Condition != "velocity fits int16" {
+		t.Fatalf("violation = %+v", v)
+	}
+}

@@ -1,0 +1,25 @@
+package contracts_test
+
+import (
+	"fmt"
+
+	"aft/internal/contracts"
+)
+
+// ExampleContract guards the Ariane conversion with an explicit
+// pre-condition.
+func ExampleContract() {
+	velocity := int64(40_000) // the Ariane 5 profile
+	c, _ := contracts.New("irs.bh-conversion")
+	c.Require("velocity fits int16", contracts.Guard(
+		func() bool { return velocity <= 32767 },
+		"horizontal velocity exceeds int16"))
+
+	err := c.Run(func() error {
+		_ = int16(velocity)
+		return nil
+	})
+	fmt.Println(err)
+	// Output:
+	// contract "irs.bh-conversion": pre-condition "velocity fits int16" violated: horizontal velocity exceeds int16
+}

@@ -1,0 +1,423 @@
+// Package core implements the paper's central contribution: explicit,
+// first-class design assumptions whose binding is postponed to "a later,
+// more appropriate time", together with clash detection against the
+// truth of the current conditions and classification of failures into
+// the paper's three syndromes.
+//
+// The paper's notation is kept: an assumption variable holds a
+// hypothesis f drawn from declared alternatives; "real life" supplies
+// the corresponding fact 𝐟 through a truth source; a mismatch is an
+// assumption failure — an "assumption-versus-context clash". Clashes are
+// never sifted off: every declaration carries its provenance (the
+// anti-Hidden-Intelligence payload), every clash is recorded, and
+// auto-rebinding variables implement the context-aware revision that
+// lifts a system up Boulding's scale.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Syndrome is one of the paper's three hazards of software development.
+type Syndrome int
+
+// The three syndromes of Section 2.
+const (
+	// Horning is the hazard of the environment doing "something the
+	// designer never anticipated" (SH).
+	Horning Syndrome = iota + 1
+	// HiddenIntelligence is the hazard of concealing or discarding
+	// important knowledge for the sake of hiding complexity (SHI).
+	HiddenIntelligence
+	// Boulding is the hazard of designing a system whose openness
+	// category is below what its environment requires (SB).
+	Boulding
+)
+
+// String returns the syndrome name.
+func (s Syndrome) String() string {
+	switch s {
+	case Horning:
+		return "Horning"
+	case HiddenIntelligence:
+		return "Hidden Intelligence"
+	case Boulding:
+		return "Boulding"
+	default:
+		return fmt.Sprintf("Syndrome(%d)", int(s))
+	}
+}
+
+// BindTime is a stage of the software life cycle at which an assumption
+// variable may be bound — the paper's "time stages".
+type BindTime int
+
+// Life-cycle stages, ordered.
+const (
+	DesignTime BindTime = iota + 1
+	CompileTime
+	DeployTime
+	RunTime
+)
+
+// String returns the stage name.
+func (b BindTime) String() string {
+	switch b {
+	case DesignTime:
+		return "design-time"
+	case CompileTime:
+		return "compile-time"
+	case DeployTime:
+		return "deploy-time"
+	case RunTime:
+		return "run-time"
+	default:
+		return fmt.Sprintf("BindTime(%d)", int(b))
+	}
+}
+
+// Alternative is one of the declared hypotheses an assumption variable
+// can be bound to (the paper's f0…f4, e0…e2, a(r)…).
+type Alternative struct {
+	// ID is the short hypothesis name ("f3", "e1", "r=5").
+	ID string
+	// Description states the hypothesis in full.
+	Description string
+}
+
+// Variable is an assumption variable: a named design assumption with
+// declared alternatives and a postponed binding.
+type Variable struct {
+	// Name identifies the variable ("memory.failure-semantics").
+	Name string
+	// Doc records why the assumption exists and what depends on it —
+	// the provenance whose loss the paper calls Hidden Intelligence.
+	Doc string
+	// Syndrome names the hazard this assumption guards against.
+	Syndrome Syndrome
+	// BindAt is the earliest life-cycle stage at which binding is
+	// allowed; the paper's strategies postpone bindings to
+	// compile-time (§3.1), run-time (§3.2), and continuously revised
+	// run-time (§3.3).
+	BindAt BindTime
+	// Alternatives are the declared hypotheses.
+	Alternatives []Alternative
+	// AutoRebind makes the executive rebind the variable to the
+	// observed truth on a clash (the §3.3 autonomic behaviour). Without
+	// it a clash is only reported.
+	AutoRebind bool
+
+	bound   string
+	boundAt BindTime
+}
+
+// Errors returned by the registry.
+var (
+	// ErrUnknownVariable reports an operation on an undeclared variable.
+	ErrUnknownVariable = errors.New("core: unknown assumption variable")
+	// ErrUnknownAlternative reports a binding to an undeclared
+	// hypothesis.
+	ErrUnknownAlternative = errors.New("core: unknown alternative")
+	// ErrTooEarly reports a binding attempted before the variable's
+	// declared stage.
+	ErrTooEarly = errors.New("core: binding attempted before the declared bind stage")
+	// ErrUnbound reports a verification of an unbound variable.
+	ErrUnbound = errors.New("core: variable not bound")
+	// ErrNoTruthSource reports a verification without a truth source.
+	ErrNoTruthSource = errors.New("core: no truth source attached")
+)
+
+// validate checks a variable declaration.
+func (v *Variable) validate() error {
+	if v.Name == "" {
+		return errors.New("core: variable needs a name")
+	}
+	if v.Doc == "" {
+		return fmt.Errorf("core: variable %q needs a Doc — undocumented assumptions are the Hidden Intelligence syndrome", v.Name)
+	}
+	if len(v.Alternatives) == 0 {
+		return fmt.Errorf("core: variable %q needs at least one alternative", v.Name)
+	}
+	seen := make(map[string]bool, len(v.Alternatives))
+	for _, a := range v.Alternatives {
+		if a.ID == "" {
+			return fmt.Errorf("core: variable %q has an alternative without an ID", v.Name)
+		}
+		if seen[a.ID] {
+			return fmt.Errorf("core: variable %q declares alternative %q twice", v.Name, a.ID)
+		}
+		seen[a.ID] = true
+	}
+	if v.BindAt < DesignTime || v.BindAt > RunTime {
+		return fmt.Errorf("core: variable %q has invalid bind stage %d", v.Name, v.BindAt)
+	}
+	return nil
+}
+
+func (v *Variable) hasAlternative(id string) bool {
+	for _, a := range v.Alternatives {
+		if a.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Bound returns the currently bound alternative ID, if any.
+func (v *Variable) Bound() (string, bool) {
+	return v.bound, v.bound != ""
+}
+
+// BoundAt returns the stage at which the variable was bound.
+func (v *Variable) BoundAt() BindTime { return v.boundAt }
+
+// TruthSource reports the hypothesis ID that currently matches reality —
+// the bold-face fact 𝐟 of the paper's notation. Sources are probes
+// (Serial Presence Detect, §3.1), oracles (alpha-count, §3.2), or
+// deductions from observations (distance-to-failure, §3.3).
+type TruthSource func() (string, error)
+
+// Clash is an assumption failure: the bound hypothesis contradicted by
+// the observed fact.
+type Clash struct {
+	// Variable is the clashing assumption variable's name.
+	Variable string
+	// Syndrome classifies the hazard.
+	Syndrome Syndrome
+	// Bound is the hypothesis the software was built on.
+	Bound string
+	// Truth is the observed fact.
+	Truth string
+	// Time is the virtual time of detection.
+	Time int64
+	// Rebound reports whether the executive auto-rebound the variable
+	// to the truth.
+	Rebound bool
+}
+
+// String renders the clash in the paper's f-versus-𝐟 style.
+func (c Clash) String() string {
+	s := fmt.Sprintf("[%d] %s clash on %q: assumed %q, observed %q",
+		c.Time, c.Syndrome, c.Variable, c.Bound, c.Truth)
+	if c.Rebound {
+		s += " (rebound)"
+	}
+	return s
+}
+
+// Registry holds the declared assumption variables of a system: the
+// explicit, inspectable web of hypotheses the paper asks for.
+type Registry struct {
+	mu        sync.Mutex
+	vars      map[string]*Variable
+	truths    map[string]TruthSource
+	clashes   []Clash
+	listeners []func(Clash)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		vars:   make(map[string]*Variable),
+		truths: make(map[string]TruthSource),
+	}
+}
+
+// Declare registers an assumption variable.
+func (r *Registry) Declare(v Variable) error {
+	if err := v.validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.vars[v.Name]; ok {
+		return fmt.Errorf("core: variable %q already declared", v.Name)
+	}
+	vv := v
+	r.vars[v.Name] = &vv
+	return nil
+}
+
+// Variables returns the declared variable names, sorted.
+func (r *Registry) Variables() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.vars))
+	for name := range r.vars {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns a copy of the named variable.
+func (r *Registry) Get(name string) (Variable, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.vars[name]
+	if !ok {
+		return Variable{}, fmt.Errorf("%w: %q", ErrUnknownVariable, name)
+	}
+	return *v, nil
+}
+
+// Bind binds a variable to one of its alternatives at the given stage.
+// Binding earlier than the declared stage is refused: the whole point of
+// the paper's strategies is not to freeze the choice prematurely.
+// Rebinding at or after the declared stage is allowed (that is revision).
+func (r *Registry) Bind(name, altID string, at BindTime) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.vars[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVariable, name)
+	}
+	if !v.hasAlternative(altID) {
+		return fmt.Errorf("%w: %q has no alternative %q", ErrUnknownAlternative, name, altID)
+	}
+	if at < v.BindAt {
+		return fmt.Errorf("%w: %q binds at %s, attempted at %s",
+			ErrTooEarly, name, v.BindAt, at)
+	}
+	v.bound = altID
+	v.boundAt = at
+	return nil
+}
+
+// AttachTruth attaches a truth source to a variable.
+func (r *Registry) AttachTruth(name string, src TruthSource) error {
+	if src == nil {
+		return errors.New("core: nil truth source")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.vars[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVariable, name)
+	}
+	r.truths[name] = src
+	return nil
+}
+
+// OnClash registers a listener invoked on every detected clash — the
+// knowledge-propagation hook of the §5 vision.
+func (r *Registry) OnClash(fn func(Clash)) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.listeners = append(r.listeners, fn)
+}
+
+// VerifyVariable matches one bound variable against its truth source.
+// It returns the clash (if any), recording and broadcasting it.
+func (r *Registry) VerifyVariable(name string, now int64) (*Clash, error) {
+	r.mu.Lock()
+	v, ok := r.vars[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownVariable, name)
+	}
+	if v.bound == "" {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnbound, name)
+	}
+	src, ok := r.truths[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoTruthSource, name)
+	}
+	r.mu.Unlock()
+
+	truth, err := src()
+	if err != nil {
+		return nil, fmt.Errorf("core: truth source for %q: %w", name, err)
+	}
+
+	r.mu.Lock()
+	if truth == v.bound {
+		r.mu.Unlock()
+		return nil, nil
+	}
+	clash := Clash{
+		Variable: name,
+		Syndrome: v.Syndrome,
+		Bound:    v.bound,
+		Truth:    truth,
+		Time:     now,
+	}
+	if v.AutoRebind && v.hasAlternative(truth) {
+		v.bound = truth
+		v.boundAt = RunTime
+		clash.Rebound = true
+	}
+	r.clashes = append(r.clashes, clash)
+	listeners := make([]func(Clash), len(r.listeners))
+	copy(listeners, r.listeners)
+	r.mu.Unlock()
+
+	for _, fn := range listeners {
+		fn(clash)
+	}
+	return &clash, nil
+}
+
+// Verify matches every bound variable with an attached truth source,
+// returning all clashes found. Variables without truth sources or
+// bindings are skipped (they are reported by Audit instead).
+func (r *Registry) Verify(now int64) []Clash {
+	var out []Clash
+	for _, name := range r.Variables() {
+		clash, err := r.VerifyVariable(name, now)
+		if err != nil || clash == nil {
+			continue
+		}
+		out = append(out, *clash)
+	}
+	return out
+}
+
+// Clashes returns a copy of all recorded clashes.
+func (r *Registry) Clashes() []Clash {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Clash, len(r.clashes))
+	copy(out, r.clashes)
+	return out
+}
+
+// AuditFinding is one gap reported by Audit.
+type AuditFinding struct {
+	Variable string
+	Problem  string
+}
+
+// Audit reports hygiene gaps that invite the Hidden Intelligence and
+// Boulding syndromes: unbound variables, bindings without truth sources
+// (unverifiable assumptions), and variables bound earlier than declared
+// alternatives would allow revision.
+func (r *Registry) Audit() []AuditFinding {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []AuditFinding
+	names := make([]string, 0, len(r.vars))
+	for name := range r.vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := r.vars[name]
+		if v.bound == "" {
+			out = append(out, AuditFinding{Variable: name,
+				Problem: "declared but never bound"})
+		}
+		if _, ok := r.truths[name]; !ok {
+			out = append(out, AuditFinding{Variable: name,
+				Problem: "no truth source attached: the assumption is unverifiable at run time"})
+		}
+	}
+	return out
+}

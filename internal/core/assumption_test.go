@@ -1,0 +1,331 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func memVar() Variable {
+	return Variable{
+		Name:     "memory.failure-semantics",
+		Doc:      "which fault classes the memory modules exhibit; drives the choice of access method (§3.1)",
+		Syndrome: HiddenIntelligence,
+		BindAt:   CompileTime,
+		Alternatives: []Alternative{
+			{ID: "f0", Description: "stable"},
+			{ID: "f1", Description: "CMOS-like transients"},
+			{ID: "f4", Description: "full single-event effects"},
+		},
+	}
+}
+
+func TestDeclareValidation(t *testing.T) {
+	r := NewRegistry()
+	v := memVar()
+	v.Name = ""
+	if err := r.Declare(v); err == nil {
+		t.Fatal("nameless variable accepted")
+	}
+	v = memVar()
+	v.Doc = ""
+	if err := r.Declare(v); err == nil {
+		t.Fatal("undocumented variable accepted (Hidden Intelligence!)")
+	}
+	v = memVar()
+	v.Alternatives = nil
+	if err := r.Declare(v); err == nil {
+		t.Fatal("alternative-less variable accepted")
+	}
+	v = memVar()
+	v.Alternatives = append(v.Alternatives, Alternative{ID: "f0"})
+	if err := r.Declare(v); err == nil {
+		t.Fatal("duplicate alternative accepted")
+	}
+	v = memVar()
+	v.Alternatives[0].ID = ""
+	if err := r.Declare(v); err == nil {
+		t.Fatal("blank alternative ID accepted")
+	}
+	v = memVar()
+	v.BindAt = BindTime(9)
+	if err := r.Declare(v); err == nil {
+		t.Fatal("invalid bind stage accepted")
+	}
+	if err := r.Declare(memVar()); err != nil {
+		t.Fatalf("valid variable rejected: %v", err)
+	}
+	if err := r.Declare(memVar()); err == nil {
+		t.Fatal("double declaration accepted")
+	}
+}
+
+func TestBindRules(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(memVar()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind("nope", "f1", CompileTime); !errors.Is(err, ErrUnknownVariable) {
+		t.Fatalf("unknown variable: %v", err)
+	}
+	if err := r.Bind("memory.failure-semantics", "f9", CompileTime); !errors.Is(err, ErrUnknownAlternative) {
+		t.Fatalf("unknown alternative: %v", err)
+	}
+	// Binding before the declared stage is the premature freeze the
+	// paper warns against.
+	if err := r.Bind("memory.failure-semantics", "f1", DesignTime); !errors.Is(err, ErrTooEarly) {
+		t.Fatalf("premature binding: %v", err)
+	}
+	if err := r.Bind("memory.failure-semantics", "f1", CompileTime); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Get("memory.failure-semantics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, ok := v.Bound()
+	if !ok || bound != "f1" {
+		t.Fatalf("Bound() = %q, %v", bound, ok)
+	}
+	if v.BoundAt() != CompileTime {
+		t.Fatalf("BoundAt() = %v", v.BoundAt())
+	}
+	// Rebinding later is revision, which is allowed.
+	if err := r.Bind("memory.failure-semantics", "f4", RunTime); err != nil {
+		t.Fatalf("revision rejected: %v", err)
+	}
+}
+
+func TestVerifyDetectsClash(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(memVar()); err != nil {
+		t.Fatal(err)
+	}
+	name := "memory.failure-semantics"
+	if err := r.Bind(name, "f1", CompileTime); err != nil {
+		t.Fatal(err)
+	}
+	truth := "f1"
+	if err := r.AttachTruth(name, func() (string, error) { return truth, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Matching truth: no clash.
+	if clashes := r.Verify(1); len(clashes) != 0 {
+		t.Fatalf("false clash: %v", clashes)
+	}
+	// The environment changes (an Ariane-5 moment).
+	truth = "f4"
+	clashes := r.Verify(2)
+	if len(clashes) != 1 {
+		t.Fatalf("clashes = %v, want 1", clashes)
+	}
+	c := clashes[0]
+	if c.Bound != "f1" || c.Truth != "f4" || c.Syndrome != HiddenIntelligence || c.Time != 2 {
+		t.Fatalf("clash = %+v", c)
+	}
+	if c.Rebound {
+		t.Fatal("non-auto variable rebound itself")
+	}
+	if len(r.Clashes()) != 1 {
+		t.Fatal("clash not recorded")
+	}
+	if !strings.Contains(c.String(), `assumed "f1", observed "f4"`) {
+		t.Fatalf("clash string = %q", c.String())
+	}
+}
+
+func TestAutoRebind(t *testing.T) {
+	r := NewRegistry()
+	v := memVar()
+	v.AutoRebind = true
+	if err := r.Declare(v); err != nil {
+		t.Fatal(err)
+	}
+	name := v.Name
+	if err := r.Bind(name, "f1", CompileTime); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachTruth(name, func() (string, error) { return "f4", nil }); err != nil {
+		t.Fatal(err)
+	}
+	clashes := r.Verify(1)
+	if len(clashes) != 1 || !clashes[0].Rebound {
+		t.Fatalf("clashes = %+v, want one rebound clash", clashes)
+	}
+	got, err := r.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, _ := got.Bound()
+	if bound != "f4" {
+		t.Fatalf("after rebind Bound = %q, want f4", bound)
+	}
+	if got.BoundAt() != RunTime {
+		t.Fatalf("rebind stage = %v, want run-time", got.BoundAt())
+	}
+	// Truth now matches: no further clash.
+	if clashes := r.Verify(2); len(clashes) != 0 {
+		t.Fatalf("clash after rebind: %v", clashes)
+	}
+}
+
+func TestAutoRebindToUndeclaredTruthOnlyReports(t *testing.T) {
+	r := NewRegistry()
+	v := memVar()
+	v.AutoRebind = true
+	if err := r.Declare(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind(v.Name, "f1", CompileTime); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachTruth(v.Name, func() (string, error) { return "f99", nil }); err != nil {
+		t.Fatal(err)
+	}
+	clashes := r.Verify(1)
+	if len(clashes) != 1 || clashes[0].Rebound {
+		t.Fatalf("clashes = %+v: truth outside alternatives must not rebind", clashes)
+	}
+}
+
+func TestVerifyVariableErrors(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.VerifyVariable("ghost", 0); !errors.Is(err, ErrUnknownVariable) {
+		t.Fatalf("unknown: %v", err)
+	}
+	if err := r.Declare(memVar()); err != nil {
+		t.Fatal(err)
+	}
+	name := "memory.failure-semantics"
+	if _, err := r.VerifyVariable(name, 0); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("unbound: %v", err)
+	}
+	if err := r.Bind(name, "f0", RunTime); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.VerifyVariable(name, 0); !errors.Is(err, ErrNoTruthSource) {
+		t.Fatalf("no source: %v", err)
+	}
+	if err := r.AttachTruth(name, func() (string, error) {
+		return "", errors.New("probe offline")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.VerifyVariable(name, 0); err == nil {
+		t.Fatal("truth source error swallowed")
+	}
+}
+
+func TestAttachTruthValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.AttachTruth("ghost", func() (string, error) { return "", nil }); !errors.Is(err, ErrUnknownVariable) {
+		t.Fatalf("unknown variable: %v", err)
+	}
+	if err := r.Declare(memVar()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachTruth("memory.failure-semantics", nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestOnClashListeners(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(memVar()); err != nil {
+		t.Fatal(err)
+	}
+	name := "memory.failure-semantics"
+	if err := r.Bind(name, "f0", RunTime); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachTruth(name, func() (string, error) { return "f1", nil }); err != nil {
+		t.Fatal(err)
+	}
+	var seen []Clash
+	r.OnClash(func(c Clash) { seen = append(seen, c) })
+	r.OnClash(nil) // must be ignored
+	r.Verify(5)
+	if len(seen) != 1 || seen[0].Time != 5 {
+		t.Fatalf("listener saw %v", seen)
+	}
+}
+
+func TestAudit(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(memVar()); err != nil {
+		t.Fatal(err)
+	}
+	findings := r.Audit()
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want unbound + unverifiable", findings)
+	}
+	if err := r.Bind("memory.failure-semantics", "f0", RunTime); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachTruth("memory.failure-semantics",
+		func() (string, error) { return "f0", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if findings := r.Audit(); len(findings) != 0 {
+		t.Fatalf("findings after fixes = %v", findings)
+	}
+}
+
+func TestVariablesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		v := memVar()
+		v.Name = name
+		if err := r.Declare(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := r.Variables()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Fatalf("Variables() = %v", names)
+	}
+}
+
+func TestSyndromeAndBindTimeStrings(t *testing.T) {
+	if Horning.String() != "Horning" ||
+		HiddenIntelligence.String() != "Hidden Intelligence" ||
+		Boulding.String() != "Boulding" {
+		t.Fatal("syndrome names wrong")
+	}
+	if Syndrome(9).String() != "Syndrome(9)" {
+		t.Fatal("unknown syndrome name wrong")
+	}
+	stages := map[BindTime]string{
+		DesignTime:  "design-time",
+		CompileTime: "compile-time",
+		DeployTime:  "deploy-time",
+		RunTime:     "run-time",
+	}
+	for b, want := range stages {
+		if b.String() != want {
+			t.Fatalf("BindTime %d = %q, want %q", int(b), b.String(), want)
+		}
+	}
+	if BindTime(8).String() != "BindTime(8)" {
+		t.Fatal("unknown bind time name wrong")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(memVar()); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Get("memory.failure-semantics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Doc = "mutated"
+	v2, err := r.Get("memory.failure-semantics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Doc == "mutated" {
+		t.Fatal("Get exposed internal state")
+	}
+}

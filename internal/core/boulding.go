@@ -1,0 +1,100 @@
+package core
+
+import "fmt"
+
+// BouldingCategory is a rung of Kenneth Boulding's 1956 classification
+// of systems, which the paper uses to grade a software system's openness
+// to its environment. The paper names Clockworks and Thermostats as the
+// categories today's software mostly occupies, and Cells/Plants (open,
+// self-maintaining systems) as what assumption failure tolerance should
+// achieve, with Beings (self-aware systems) as the horizon.
+type BouldingCategory int
+
+// Boulding's hierarchy (the subset the paper discusses, in order).
+const (
+	// Framework is static structure.
+	Framework BouldingCategory = iota + 1
+	// Clockwork is a "simple dynamic system with predetermined,
+	// necessary motions".
+	Clockwork
+	// Thermostat is a "control mechanism in which the system will move
+	// to the maintenance of any given equilibrium, within limits".
+	Thermostat
+	// Cell is a self-maintaining open system.
+	Cell
+	// Plant is an open system with a division of labour among
+	// self-maintaining parts.
+	Plant
+	// Being is a system with self-awareness (the paper's horizon for
+	// "fully autonomically resilient software").
+	Being
+)
+
+// String returns the category name.
+func (c BouldingCategory) String() string {
+	switch c {
+	case Framework:
+		return "Framework"
+	case Clockwork:
+		return "Clockwork"
+	case Thermostat:
+		return "Thermostat"
+	case Cell:
+		return "Cell"
+	case Plant:
+		return "Plant"
+	case Being:
+		return "Being"
+	default:
+		return fmt.Sprintf("BouldingCategory(%d)", int(c))
+	}
+}
+
+// Traits describes the observable adaptivity of a (software) system, in
+// increasing order of openness. Each trait implies the ones above it in
+// the struct make sense; the classifier takes the highest rung whose
+// requirement is met.
+type Traits struct {
+	// Dynamic: the system computes at all (everything here does).
+	Dynamic bool
+	// MaintainsSetpoint: closed-loop feedback toward a fixed
+	// equilibrium — fixed-redundancy replication, plain retry loops.
+	MaintainsSetpoint bool
+	// RevisesStructure: the system revises its own structure or
+	// dimensioning in response to the environment — the §3.2 pattern
+	// swaps and the §3.3 autonomic redundancy.
+	RevisesStructure bool
+	// DividesLabour: multiple cooperating self-maintaining parts (the
+	// §5 web of agents).
+	DividesLabour bool
+	// ModelsItself: the system holds and revises a model of itself
+	// (self-awareness).
+	ModelsItself bool
+}
+
+// Classify grades traits on Boulding's scale.
+func Classify(t Traits) BouldingCategory {
+	switch {
+	case t.ModelsItself:
+		return Being
+	case t.DividesLabour:
+		return Plant
+	case t.RevisesStructure:
+		return Cell
+	case t.MaintainsSetpoint:
+		return Thermostat
+	case t.Dynamic:
+		return Clockwork
+	default:
+		return Framework
+	}
+}
+
+// BouldingClash reports whether a system of the given category is
+// underqualified for an environment demanding the required category —
+// the Boulding syndrome condition ("a clash exists between a system's
+// Boulding category and the actual characteristics of its operational
+// environment").
+func BouldingClash(system, required BouldingCategory) bool {
+	return system < required
+}

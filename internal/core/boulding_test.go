@@ -1,0 +1,66 @@
+package core
+
+import "testing"
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		name string
+		give Traits
+		want BouldingCategory
+	}{
+		{"static", Traits{}, Framework},
+		{"batch job", Traits{Dynamic: true}, Clockwork},
+		{"fixed redundancy", Traits{Dynamic: true, MaintainsSetpoint: true}, Thermostat},
+		{"autonomic redundancy", Traits{Dynamic: true, MaintainsSetpoint: true, RevisesStructure: true}, Cell},
+		{"agent web", Traits{Dynamic: true, MaintainsSetpoint: true, RevisesStructure: true, DividesLabour: true}, Plant},
+		{"self-aware", Traits{ModelsItself: true}, Being},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.give); got != tt.want {
+			t.Errorf("%s: Classify = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestBouldingClash(t *testing.T) {
+	// The Therac-25 case: a Thermostat-class system in an environment
+	// demanding at least Cell-class context awareness.
+	if !BouldingClash(Thermostat, Cell) {
+		t.Fatal("Thermostat vs Cell requirement must clash")
+	}
+	if BouldingClash(Cell, Cell) {
+		t.Fatal("matching categories must not clash")
+	}
+	if BouldingClash(Plant, Thermostat) {
+		t.Fatal("overqualified systems must not clash")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	names := map[BouldingCategory]string{
+		Framework:  "Framework",
+		Clockwork:  "Clockwork",
+		Thermostat: "Thermostat",
+		Cell:       "Cell",
+		Plant:      "Plant",
+		Being:      "Being",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("category %d = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if BouldingCategory(42).String() != "BouldingCategory(42)" {
+		t.Fatal("unknown category name wrong")
+	}
+}
+
+func TestScaleOrdering(t *testing.T) {
+	// The paper's §3.3 improvement in one assertion: turning a fixed
+	// dimensioning into an autonomic one moves the system up the scale.
+	fixed := Classify(Traits{Dynamic: true, MaintainsSetpoint: true})
+	autonomic := Classify(Traits{Dynamic: true, MaintainsSetpoint: true, RevisesStructure: true})
+	if fixed >= autonomic {
+		t.Fatalf("autonomic (%v) must outrank fixed (%v)", autonomic, fixed)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"aft/internal/pubsub"
+	"aft/internal/simclock"
+	"aft/internal/trace"
+)
+
+// ClashTopic returns the bus topic on which the executive publishes
+// clashes for a variable. The payload is the Clash value.
+func ClashTopic(variable string) string { return "assumptions/" + variable }
+
+// Executive is the paper's envisioned "autonomic run-time executive that
+// continuously verifies those hypotheses and assumptions by matching
+// them with endogenous and exogenous knowledge": it re-verifies the
+// registry on a period, publishes every clash on a bus (so other layers'
+// agents can react — the §5 cross-layer gestalt), and lets auto-rebind
+// variables revise themselves.
+type Executive struct {
+	reg      *Registry
+	bus      *pubsub.Bus
+	rec      *trace.Recorder
+	interval simclock.Time
+
+	stopped bool
+	runs    int64
+	found   int64
+}
+
+// ExecutiveOption configures an Executive.
+type ExecutiveOption interface {
+	apply(*Executive)
+}
+
+type execRecorderOption struct{ rec *trace.Recorder }
+
+func (o execRecorderOption) apply(e *Executive) { e.rec = o.rec }
+
+// WithExecRecorder attaches a trace recorder.
+func WithExecRecorder(rec *trace.Recorder) ExecutiveOption {
+	return execRecorderOption{rec: rec}
+}
+
+// NewExecutive builds an executive verifying reg every interval ticks of
+// virtual time, publishing clashes to bus (which may be nil when no
+// propagation is wanted).
+func NewExecutive(reg *Registry, bus *pubsub.Bus, interval simclock.Time, opts ...ExecutiveOption) (*Executive, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("core: nil registry")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("core: verification interval must be positive, got %d", interval)
+	}
+	e := &Executive{reg: reg, bus: bus, interval: interval}
+	for _, o := range opts {
+		o.apply(e)
+	}
+	return e, nil
+}
+
+// Start schedules the periodic verification on a scheduler.
+func (e *Executive) Start(s *simclock.Scheduler) {
+	s.Every(e.interval, func(sc *simclock.Scheduler) bool {
+		if e.stopped {
+			return false
+		}
+		e.VerifyOnce(int64(sc.Now()))
+		return true
+	})
+}
+
+// VerifyOnce runs one verification sweep at the given virtual time and
+// returns the clashes found.
+func (e *Executive) VerifyOnce(now int64) []Clash {
+	e.runs++
+	clashes := e.reg.Verify(now)
+	e.found += int64(len(clashes))
+	for _, c := range clashes {
+		e.rec.Record(now, "clash", c.Variable, "%s: assumed %q observed %q rebound=%v",
+			c.Syndrome, c.Bound, c.Truth, c.Rebound)
+		if e.bus != nil {
+			e.bus.Publish(pubsub.Message{
+				Topic:   ClashTopic(c.Variable),
+				Time:    now,
+				Payload: c,
+			})
+		}
+	}
+	return clashes
+}
+
+// Stop halts the periodic verification at the next tick.
+func (e *Executive) Stop() { e.stopped = true }
+
+// Stats reports the number of sweeps run and clashes found.
+func (e *Executive) Stats() (runs, clashesFound int64) {
+	return e.runs, e.found
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// VariableState is the serializable snapshot of one assumption
+// variable: everything an inspector needs, with nothing "sifted off or
+// hidden between the lines".
+type VariableState struct {
+	Name         string        `json:"name"`
+	Doc          string        `json:"doc"`
+	Syndrome     string        `json:"syndrome"`
+	BindAt       string        `json:"bindAt"`
+	Alternatives []Alternative `json:"alternatives"`
+	AutoRebind   bool          `json:"autoRebind,omitempty"`
+	Bound        string        `json:"bound,omitempty"`
+	BoundAt      string        `json:"boundAt,omitempty"`
+	HasTruth     bool          `json:"hasTruthSource"`
+}
+
+// RegistryState is the serializable snapshot of a whole registry,
+// including its clash history.
+type RegistryState struct {
+	Variables []VariableState `json:"variables"`
+	Clashes   []ClashState    `json:"clashes,omitempty"`
+}
+
+// ClashState is the serializable form of a Clash.
+type ClashState struct {
+	Variable string `json:"variable"`
+	Syndrome string `json:"syndrome"`
+	Bound    string `json:"bound"`
+	Truth    string `json:"truth"`
+	Time     int64  `json:"time"`
+	Rebound  bool   `json:"rebound,omitempty"`
+}
+
+// State captures the registry for inspection, logging, or transfer to
+// another life-cycle stage.
+func (r *Registry) State() RegistryState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var st RegistryState
+	names := make([]string, 0, len(r.vars))
+	for name := range r.vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := r.vars[name]
+		alts := make([]Alternative, len(v.Alternatives))
+		copy(alts, v.Alternatives)
+		vs := VariableState{
+			Name:         v.Name,
+			Doc:          v.Doc,
+			Syndrome:     v.Syndrome.String(),
+			BindAt:       v.BindAt.String(),
+			Alternatives: alts,
+			AutoRebind:   v.AutoRebind,
+			Bound:        v.bound,
+		}
+		if v.bound != "" {
+			vs.BoundAt = v.boundAt.String()
+		}
+		_, vs.HasTruth = r.truths[name]
+		st.Variables = append(st.Variables, vs)
+	}
+	for _, c := range r.clashes {
+		st.Clashes = append(st.Clashes, ClashState{
+			Variable: c.Variable,
+			Syndrome: c.Syndrome.String(),
+			Bound:    c.Bound,
+			Truth:    c.Truth,
+			Time:     c.Time,
+			Rebound:  c.Rebound,
+		})
+	}
+	return st
+}
+
+// ExportJSON renders the registry state as indented JSON.
+func (r *Registry) ExportJSON() ([]byte, error) {
+	return json.MarshalIndent(r.State(), "", "  ")
+}

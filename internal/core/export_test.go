@@ -1,0 +1,62 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestStateAndExport(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(memVar()); err != nil {
+		t.Fatal(err)
+	}
+	name := "memory.failure-semantics"
+	if err := r.Bind(name, "f1", CompileTime); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachTruth(name, func() (string, error) { return "f4", nil }); err != nil {
+		t.Fatal(err)
+	}
+	r.Verify(9)
+
+	st := r.State()
+	if len(st.Variables) != 1 {
+		t.Fatalf("variables = %v", st.Variables)
+	}
+	v := st.Variables[0]
+	if v.Bound != "f1" || v.BoundAt != "compile-time" || !v.HasTruth {
+		t.Fatalf("variable state = %+v", v)
+	}
+	if v.Syndrome != "Hidden Intelligence" {
+		t.Fatalf("syndrome = %q", v.Syndrome)
+	}
+	if len(st.Clashes) != 1 || st.Clashes[0].Truth != "f4" || st.Clashes[0].Time != 9 {
+		t.Fatalf("clashes = %+v", st.Clashes)
+	}
+
+	data, err := r.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The export is parseable JSON carrying the provenance.
+	var parsed RegistryState
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "drives the choice of access method") {
+		t.Fatal("export lost the Doc provenance")
+	}
+}
+
+func TestStateUnboundVariable(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(memVar()); err != nil {
+		t.Fatal(err)
+	}
+	st := r.State()
+	v := st.Variables[0]
+	if v.Bound != "" || v.BoundAt != "" || v.HasTruth {
+		t.Fatalf("unbound state = %+v", v)
+	}
+}

@@ -1,0 +1,350 @@
+// Package dag implements the reflective meta-structure of the paper's
+// §3.2: "the software architecture can be adapted by changing a
+// reflective meta-structure in the form of a directed acyclic graph".
+//
+// A Graph holds named component nodes and dependency edges and enforces
+// acyclicity on every mutation. Snapshots capture whole architectures
+// (the paper's D1 and D2); Inject atomically replaces the live
+// architecture with a snapshot, which is how the adaptation middleware
+// (package accada) reshapes the system as in Fig. 3.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by graph mutations.
+var (
+	// ErrDuplicateNode reports an AddNode for an existing name.
+	ErrDuplicateNode = errors.New("dag: node already exists")
+	// ErrUnknownNode reports a reference to a missing node.
+	ErrUnknownNode = errors.New("dag: unknown node")
+	// ErrCycle reports an edge that would create a cycle.
+	ErrCycle = errors.New("dag: edge would create a cycle")
+	// ErrDuplicateEdge reports an AddEdge for an existing edge.
+	ErrDuplicateEdge = errors.New("dag: edge already exists")
+)
+
+// Graph is a mutable directed acyclic graph of named components. It is
+// safe for concurrent use.
+type Graph struct {
+	mu       sync.RWMutex
+	payloads map[string]any
+	succ     map[string][]string // sorted adjacency
+	version  int64
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		payloads: make(map[string]any),
+		succ:     make(map[string][]string),
+	}
+}
+
+// Version returns a counter incremented by every successful mutation,
+// letting observers detect architectural change cheaply.
+func (g *Graph) Version() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.version
+}
+
+// AddNode inserts a component.
+func (g *Graph) AddNode(name string, payload any) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.payloads[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateNode, name)
+	}
+	g.payloads[name] = payload
+	g.succ[name] = nil
+	g.version++
+	return nil
+}
+
+// RemoveNode deletes a component and all incident edges.
+func (g *Graph) RemoveNode(name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.payloads[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	delete(g.payloads, name)
+	delete(g.succ, name)
+	for from, tos := range g.succ {
+		g.succ[from] = removeString(tos, name)
+	}
+	g.version++
+	return nil
+}
+
+// AddEdge inserts a dependency from → to, rejecting unknown nodes,
+// duplicates, and anything that would create a cycle (including self
+// edges).
+func (g *Graph) AddEdge(from, to string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.payloads[from]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, from)
+	}
+	if _, ok := g.payloads[to]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	for _, t := range g.succ[from] {
+		if t == to {
+			return fmt.Errorf("%w: %s->%s", ErrDuplicateEdge, from, to)
+		}
+	}
+	if from == to || g.reachableLocked(to, from) {
+		return fmt.Errorf("%w: %s->%s", ErrCycle, from, to)
+	}
+	g.succ[from] = insertSorted(g.succ[from], to)
+	g.version++
+	return nil
+}
+
+// RemoveEdge deletes a dependency.
+func (g *Graph) RemoveEdge(from, to string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	tos, ok := g.succ[from]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, from)
+	}
+	for _, t := range tos {
+		if t == to {
+			g.succ[from] = removeString(tos, to)
+			g.version++
+			return nil
+		}
+	}
+	return fmt.Errorf("dag: no edge %s->%s", from, to)
+}
+
+// HasNode reports whether the component exists.
+func (g *Graph) HasNode(name string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.payloads[name]
+	return ok
+}
+
+// Payload returns the component's payload.
+func (g *Graph) Payload(name string) (any, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	p, ok := g.payloads[name]
+	return p, ok
+}
+
+// SetPayload replaces a component's payload in place (a component-level
+// swap that keeps the architecture shape).
+func (g *Graph) SetPayload(name string, payload any) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.payloads[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	g.payloads[name] = payload
+	g.version++
+	return nil
+}
+
+// Nodes returns all component names, sorted.
+func (g *Graph) Nodes() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.payloads))
+	for name := range g.payloads {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Succ returns the dependencies of a node, sorted.
+func (g *Graph) Succ(name string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, len(g.succ[name]))
+	copy(out, g.succ[name])
+	return out
+}
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, tos := range g.succ {
+		n += len(tos)
+	}
+	return n
+}
+
+// reachableLocked reports whether `to` is reachable from `from`. Callers
+// hold the lock.
+func (g *Graph) reachableLocked(from, to string) bool {
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == to {
+			return true
+		}
+		for _, next := range g.succ[cur] {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// Topo returns a deterministic topological order (Kahn's algorithm with
+// lexicographic tie-breaking).
+func (g *Graph) Topo() ([]string, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	indeg := make(map[string]int, len(g.payloads))
+	for name := range g.payloads {
+		indeg[name] = 0
+	}
+	for _, tos := range g.succ {
+		for _, to := range tos {
+			indeg[to]++
+		}
+	}
+	var ready []string
+	for name, d := range indeg {
+		if d == 0 {
+			ready = append(ready, name)
+		}
+	}
+	sort.Strings(ready)
+	var out []string
+	for len(ready) > 0 {
+		cur := ready[0]
+		ready = ready[1:]
+		out = append(out, cur)
+		newlyReady := false
+		for _, to := range g.succ[cur] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				ready = append(ready, to)
+				newlyReady = true
+			}
+		}
+		if newlyReady {
+			sort.Strings(ready)
+		}
+	}
+	if len(out) != len(g.payloads) {
+		return nil, errors.New("dag: graph contains a cycle (invariant broken)")
+	}
+	return out, nil
+}
+
+// Snapshot is an immutable copy of a graph's structure and payloads —
+// the paper's D1/D2 "DAG snapshots ... stored in data structures".
+type Snapshot struct {
+	payloads map[string]any
+	succ     map[string][]string
+}
+
+// Snapshot captures the current architecture.
+func (g *Graph) Snapshot() Snapshot {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return Snapshot{payloads: clonePayloads(g.payloads), succ: cloneSucc(g.succ)}
+}
+
+// Inject atomically replaces the live architecture with the snapshot,
+// reshaping the software system as in Fig. 3.
+func (g *Graph) Inject(s Snapshot) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.payloads = clonePayloads(s.payloads)
+	g.succ = cloneSucc(s.succ)
+	g.version++
+}
+
+// Nodes returns the snapshot's component names, sorted.
+func (s Snapshot) Nodes() []string {
+	out := make([]string, 0, len(s.payloads))
+	for name := range s.payloads {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports whether two snapshots describe the same architecture
+// shape (same nodes and edges; payloads are not compared).
+func (s Snapshot) Equal(o Snapshot) bool {
+	if len(s.payloads) != len(o.payloads) {
+		return false
+	}
+	for name := range s.payloads {
+		if _, ok := o.payloads[name]; !ok {
+			return false
+		}
+	}
+	if len(s.succ) != len(o.succ) {
+		return false
+	}
+	for from, tos := range s.succ {
+		otos := o.succ[from]
+		if len(tos) != len(otos) {
+			return false
+		}
+		for i := range tos {
+			if tos[i] != otos[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func clonePayloads(in map[string]any) map[string]any {
+	out := make(map[string]any, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneSucc(in map[string][]string) map[string][]string {
+	out := make(map[string][]string, len(in))
+	for k, v := range in {
+		c := make([]string, len(v))
+		copy(c, v)
+		out[k] = c
+	}
+	return out
+}
+
+func removeString(s []string, v string) []string {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func insertSorted(s []string, v string) []string {
+	i := sort.SearchStrings(s, v)
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,305 @@
+package dag
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"aft/internal/xrand"
+)
+
+func mustAdd(t *testing.T, g *Graph, names ...string) {
+	t.Helper()
+	for _, n := range names {
+		if err := g.AddNode(n, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, pairs ...[2]string) {
+	t.Helper()
+	for _, p := range pairs {
+		if err := g.AddEdge(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a")
+	if err := g.AddNode("a", nil); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("err = %v, want ErrDuplicateNode", err)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b")
+	if err := g.AddEdge("a", "x"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown to: %v", err)
+	}
+	if err := g.AddEdge("x", "a"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown from: %v", err)
+	}
+	if err := g.AddEdge("a", "a"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("self edge: %v", err)
+	}
+	mustEdge(t, g, [2]string{"a", "b"})
+	if err := g.AddEdge("a", "b"); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := g.AddEdge("b", "a"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("2-cycle: %v", err)
+	}
+}
+
+func TestLongCycleRejected(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b", "c", "d")
+	mustEdge(t, g, [2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"c", "d"})
+	if err := g.AddEdge("d", "a"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("long cycle: %v", err)
+	}
+}
+
+func TestRemoveNodeCleansEdges(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b", "c")
+	mustEdge(t, g, [2]string{"a", "b"}, [2]string{"b", "c"})
+	if err := g.RemoveNode("b"); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasNode("b") {
+		t.Fatal("node survived removal")
+	}
+	if g.EdgeCount() != 0 {
+		t.Fatalf("EdgeCount = %d after removing the hub", g.EdgeCount())
+	}
+	if err := g.RemoveNode("b"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b")
+	mustEdge(t, g, [2]string{"a", "b"})
+	if err := g.RemoveEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() != 0 {
+		t.Fatal("edge survived removal")
+	}
+	if err := g.RemoveEdge("a", "b"); err == nil {
+		t.Fatal("missing edge removed twice")
+	}
+	if err := g.RemoveEdge("x", "b"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown from: %v", err)
+	}
+	// After removal the reverse edge is legal again.
+	if err := g.AddEdge("b", "a"); err != nil {
+		t.Fatalf("reverse edge after removal: %v", err)
+	}
+}
+
+func TestPayloads(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "c3")
+	if err := g.SetPayload("c3", "redoing"); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := g.Payload("c3")
+	if !ok || p != "redoing" {
+		t.Fatalf("Payload = %v, %v", p, ok)
+	}
+	if err := g.SetPayload("nope", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("SetPayload unknown: %v", err)
+	}
+	if _, ok := g.Payload("nope"); ok {
+		t.Fatal("unknown payload found")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "c1", "c2", "c3", "c4")
+	mustEdge(t, g,
+		[2]string{"c1", "c2"},
+		[2]string{"c1", "c3"},
+		[2]string{"c2", "c4"},
+		[2]string{"c3", "c4"})
+	order, err := g.Topo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, e := range [][2]string{{"c1", "c2"}, {"c1", "c3"}, {"c2", "c4"}, {"c3", "c4"}} {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Fatalf("topo order %v violates %v", order, e)
+		}
+	}
+}
+
+func TestTopoDeterministic(t *testing.T) {
+	build := func() []string {
+		g := New()
+		mustAdd(t, g, "z", "m", "a", "q")
+		order, err := g.Topo()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("topo nondeterministic: %v vs %v", a, b)
+		}
+	}
+	// With no edges the order is lexicographic.
+	if a[0] != "a" || a[3] != "z" {
+		t.Fatalf("expected lexicographic order, got %v", a)
+	}
+}
+
+func TestSnapshotInjectFig3(t *testing.T) {
+	// Build D1: c1 -> c2 -> c3 (c3 tolerates transients by redoing).
+	live := New()
+	mustAdd(t, live, "c1", "c2", "c3")
+	mustEdge(t, live, [2]string{"c1", "c2"}, [2]string{"c2", "c3"})
+	if err := live.SetPayload("c3", "redoing"); err != nil {
+		t.Fatal(err)
+	}
+	d1 := live.Snapshot()
+
+	// Build D2 out-of-band: c3 replaced by a 2-version scheme c3.1/c3.2.
+	alt := New()
+	mustAdd(t, alt, "c1", "c2", "c3.1", "c3.2")
+	mustEdge(t, alt,
+		[2]string{"c1", "c2"},
+		[2]string{"c2", "c3.1"},
+		[2]string{"c3.1", "c3.2"})
+	d2 := alt.Snapshot()
+
+	// Inject D2 into the live graph: the architecture reshapes.
+	v0 := live.Version()
+	live.Inject(d2)
+	if live.Version() <= v0 {
+		t.Fatal("version did not advance on Inject")
+	}
+	if live.HasNode("c3") {
+		t.Fatal("c3 survived the D1->D2 transition")
+	}
+	if !live.HasNode("c3.1") || !live.HasNode("c3.2") {
+		t.Fatal("2-version scheme missing after injection")
+	}
+	// And back: D2 -> D1.
+	live.Inject(d1)
+	if !live.HasNode("c3") || live.HasNode("c3.1") {
+		t.Fatal("D1 restoration failed")
+	}
+	p, _ := live.Payload("c3")
+	if p != "redoing" {
+		t.Fatalf("payload lost through snapshot cycle: %v", p)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b")
+	mustEdge(t, g, [2]string{"a", "b"})
+	snap := g.Snapshot()
+	// Mutate the live graph after snapshotting.
+	if err := g.RemoveNode("b"); err != nil {
+		t.Fatal(err)
+	}
+	g.Inject(snap)
+	if !g.HasNode("b") || g.EdgeCount() != 1 {
+		t.Fatal("snapshot was not isolated from later mutations")
+	}
+}
+
+func TestSnapshotEqual(t *testing.T) {
+	g1 := New()
+	mustAdd(t, g1, "a", "b")
+	mustEdge(t, g1, [2]string{"a", "b"})
+	g2 := New()
+	mustAdd(t, g2, "a", "b")
+	mustEdge(t, g2, [2]string{"a", "b"})
+	if !g1.Snapshot().Equal(g2.Snapshot()) {
+		t.Fatal("identical architectures not equal")
+	}
+	if err := g2.RemoveEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if g1.Snapshot().Equal(g2.Snapshot()) {
+		t.Fatal("different edge sets equal")
+	}
+	g3 := New()
+	mustAdd(t, g3, "a", "c")
+	if g1.Snapshot().Equal(g3.Snapshot()) {
+		t.Fatal("different node sets equal")
+	}
+}
+
+func TestSnapshotNodes(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "b", "a")
+	nodes := g.Snapshot().Nodes()
+	if len(nodes) != 2 || nodes[0] != "a" || nodes[1] != "b" {
+		t.Fatalf("Snapshot.Nodes() = %v", nodes)
+	}
+}
+
+// Property: no random sequence of AddEdge calls can produce a cyclic
+// graph — Topo always succeeds on whatever AddEdge admitted.
+func TestAcyclicityProperty(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	f := func(seed uint64, ops uint8) bool {
+		rng := xrand.New(seed)
+		g := New()
+		for _, n := range names {
+			if err := g.AddNode(n, nil); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < int(ops); i++ {
+			from := names[rng.Intn(len(names))]
+			to := names[rng.Intn(len(names))]
+			_ = g.AddEdge(from, to) // errors are fine; cycles must be refused
+		}
+		_, err := g.Topo()
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Inject(Snapshot()) is an identity on architecture shape.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	f := func(seed uint64, ops uint8) bool {
+		rng := xrand.New(seed)
+		g := New()
+		for _, n := range names {
+			if err := g.AddNode(n, nil); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < int(ops); i++ {
+			_ = g.AddEdge(names[rng.Intn(len(names))], names[rng.Intn(len(names))])
+		}
+		before := g.Snapshot()
+		g.Inject(before)
+		return g.Snapshot().Equal(before)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

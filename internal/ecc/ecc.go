@@ -1,0 +1,210 @@
+// Package ecc implements the error-correcting codes used by the
+// fault-tolerant memory access methods of §3.1.
+//
+// The workhorse is a Hamming(72,64) SEC-DED code: 64 data bits protected
+// by 7 Hamming check bits plus one overall parity bit, the same geometry
+// used by real ECC DIMMs. It corrects any single-bit error and detects
+// any double-bit error per 72-bit codeword. The package also provides
+// bitwise triple-modular-redundancy voting for word triplets, used by
+// the SEL-tolerant methods.
+package ecc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Status classifies the outcome of decoding a codeword.
+type Status int
+
+// Decode outcomes.
+const (
+	// OK means the codeword was error-free.
+	OK Status = iota + 1
+	// Corrected means a single-bit error was found and repaired.
+	Corrected
+	// DoubleError means two bit errors were detected; the data is
+	// unrecoverable by this code.
+	DoubleError
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case DoubleError:
+		return "double-error"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ErrDoubleError is returned by Decode when a double-bit error is
+// detected.
+var ErrDoubleError = errors.New("ecc: uncorrectable double-bit error")
+
+// Codeword is a 72-bit Hamming SEC-DED codeword. Bit i of the logical
+// codeword is bit (i%64) of Lo for i < 64, otherwise bit (i-64) of Hi.
+// Position 0 holds the overall parity bit; positions 1,2,4,...,64 hold
+// the seven Hamming check bits; all remaining positions hold data bits.
+type Codeword struct {
+	Lo uint64
+	Hi uint8
+}
+
+// Bit returns bit pos of the codeword (0 <= pos < 72).
+func (c Codeword) Bit(pos int) uint {
+	if pos < 64 {
+		return uint(c.Lo>>uint(pos)) & 1
+	}
+	return uint(c.Hi>>uint(pos-64)) & 1
+}
+
+// Flip returns the codeword with bit pos inverted. It is the injection
+// primitive tests use to model SEUs on the stored codeword.
+func (c Codeword) Flip(pos int) Codeword {
+	if pos < 64 {
+		c.Lo ^= 1 << uint(pos)
+	} else {
+		c.Hi ^= 1 << uint(pos-64)
+	}
+	return c
+}
+
+func (c Codeword) set(pos int, b uint) Codeword {
+	if b&1 == 0 {
+		return c.clear(pos)
+	}
+	if pos < 64 {
+		c.Lo |= 1 << uint(pos)
+	} else {
+		c.Hi |= 1 << uint(pos-64)
+	}
+	return c
+}
+
+func (c Codeword) clear(pos int) Codeword {
+	if pos < 64 {
+		c.Lo &^= 1 << uint(pos)
+	} else {
+		c.Hi &^= 1 << uint(pos-64)
+	}
+	return c
+}
+
+// dataPositions lists the 64 codeword positions that carry data bits:
+// every position in [1,72) that is not a power of two, plus position 0
+// being reserved for overall parity. Computed once at package
+// initialization (a deterministic pure computation).
+var dataPositions = func() [64]int {
+	var out [64]int
+	i := 0
+	for pos := 1; pos < 72; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check bit
+			continue
+		}
+		out[i] = pos
+		i++
+	}
+	if i != 64 {
+		panic("ecc: data position layout broken")
+	}
+	return out
+}()
+
+// Encode produces the SEC-DED codeword for a 64-bit data word.
+func Encode(data uint64) Codeword {
+	var c Codeword
+	for i, pos := range dataPositions {
+		c = c.set(pos, uint(data>>uint(i))&1)
+	}
+	// Hamming check bits: check bit at position p=2^k covers every
+	// position with bit k set.
+	for k := 0; k < 7; k++ {
+		p := 1 << uint(k)
+		var parity uint
+		for pos := 1; pos < 72; pos++ {
+			if pos != p && pos&p != 0 {
+				parity ^= c.Bit(pos)
+			}
+		}
+		c = c.set(p, parity)
+	}
+	// Overall parity over positions 1..71.
+	c = c.set(0, c.parityTail())
+	return c
+}
+
+// parityTail computes the XOR of bits 1..71.
+func (c Codeword) parityTail() uint {
+	all := uint(bits.OnesCount64(c.Lo)) + uint(bits.OnesCount8(c.Hi))
+	return (all - c.Bit(0)) & 1
+}
+
+// Decode extracts the data word, correcting a single-bit error if
+// present. It returns ErrDoubleError when two errors are detected; the
+// returned data is then the best-effort extraction and must not be
+// trusted.
+func Decode(c Codeword) (data uint64, status Status, err error) {
+	// Syndrome: XOR of positions of all set bits in 1..71 vs the stored
+	// check bits. Equivalent formulation: for each k, parity over all
+	// positions with bit k set (including the check bit itself) must be
+	// zero.
+	syndrome := 0
+	for k := 0; k < 7; k++ {
+		p := 1 << uint(k)
+		var parity uint
+		for pos := 1; pos < 72; pos++ {
+			if pos&p != 0 {
+				parity ^= c.Bit(pos)
+			}
+		}
+		if parity != 0 {
+			syndrome |= p
+		}
+	}
+	overallOK := c.Bit(0) == c.parityTail()
+
+	switch {
+	case syndrome == 0 && overallOK:
+		status = OK
+	case syndrome == 0 && !overallOK:
+		// The overall parity bit itself flipped.
+		c = c.Flip(0)
+		status = Corrected
+	case syndrome != 0 && !overallOK:
+		// Single-bit error at position syndrome.
+		if syndrome < 72 {
+			c = c.Flip(syndrome)
+		}
+		status = Corrected
+	default: // syndrome != 0 && overallOK
+		status = DoubleError
+	}
+
+	for i, pos := range dataPositions {
+		data |= uint64(c.Bit(pos)) << uint(i)
+	}
+	if status == DoubleError {
+		return data, status, ErrDoubleError
+	}
+	return data, status, nil
+}
+
+// Vote3 performs bitwise majority voting over three word replicas. ok
+// reports whether all three replicas agreed; the voted word is correct
+// whenever at most one replica is corrupted in any given bit position.
+func Vote3(a, b, c uint64) (voted uint64, ok bool) {
+	voted = (a & b) | (a & c) | (b & c)
+	return voted, a == b && b == c
+}
+
+// Parity returns the even-parity bit of a word (1 if the number of set
+// bits is odd). Used by the cheap error-*detecting* methods.
+func Parity(v uint64) uint {
+	return uint(bits.OnesCount64(v)) & 1
+}

@@ -1,0 +1,206 @@
+package ecc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"aft/internal/xrand"
+)
+
+func TestRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, ^uint64(0), 0xDEADBEEFCAFEBABE, 1 << 63} {
+		cw := Encode(v)
+		got, status, err := Decode(cw)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%x)) err = %v", v, err)
+		}
+		if status != OK {
+			t.Fatalf("clean codeword status = %v", status)
+		}
+		if got != v {
+			t.Fatalf("round trip %x -> %x", v, got)
+		}
+	}
+}
+
+func TestSingleErrorCorrectedAllPositions(t *testing.T) {
+	const data = uint64(0xA5A5A5A5DEADBEEF)
+	cw := Encode(data)
+	for pos := 0; pos < 72; pos++ {
+		got, status, err := Decode(cw.Flip(pos))
+		if err != nil {
+			t.Fatalf("pos %d: err = %v", pos, err)
+		}
+		if status != Corrected {
+			t.Fatalf("pos %d: status = %v, want Corrected", pos, status)
+		}
+		if got != data {
+			t.Fatalf("pos %d: data %x, want %x", pos, got, data)
+		}
+	}
+}
+
+func TestDoubleErrorDetectedAllPairs(t *testing.T) {
+	const data = 0x0123456789ABCDEF
+	cw := Encode(data)
+	// Exhaustive over all 72*71/2 pairs.
+	for i := 0; i < 72; i++ {
+		for j := i + 1; j < 72; j++ {
+			_, status, err := Decode(cw.Flip(i).Flip(j))
+			if status != DoubleError {
+				t.Fatalf("pair (%d,%d): status = %v, want DoubleError", i, j, status)
+			}
+			if !errors.Is(err, ErrDoubleError) {
+				t.Fatalf("pair (%d,%d): err = %v", i, j, err)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		got, status, err := Decode(Encode(v))
+		return err == nil && status == OK && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleErrorProperty(t *testing.T) {
+	f := func(v uint64, pos uint8) bool {
+		p := int(pos) % 72
+		got, status, err := Decode(Encode(v).Flip(p))
+		return err == nil && status == Corrected && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodewordBitFlip(t *testing.T) {
+	var c Codeword
+	for _, pos := range []int{0, 5, 63, 64, 71} {
+		c2 := c.Flip(pos)
+		if c2.Bit(pos) != 1 {
+			t.Fatalf("Flip(%d) did not set bit", pos)
+		}
+		if c2.Flip(pos) != c {
+			t.Fatalf("double Flip(%d) not identity", pos)
+		}
+	}
+}
+
+func TestVote3Majority(t *testing.T) {
+	tests := []struct {
+		a, b, c uint64
+		want    uint64
+		wantOK  bool
+	}{
+		{5, 5, 5, 5, true},
+		{5, 5, 9, 5, false},
+		{5, 9, 5, 5, false},
+		{9, 5, 5, 5, false},
+		// Bitwise: disagreements in different bits still recover.
+		{0b111, 0b101, 0b011, 0b111, false},
+	}
+	for _, tt := range tests {
+		got, ok := Vote3(tt.a, tt.b, tt.c)
+		if got != tt.want || ok != tt.wantOK {
+			t.Errorf("Vote3(%b,%b,%b) = %b,%v want %b,%v", tt.a, tt.b, tt.c, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+// Property: Vote3 recovers the true word under any single corrupted
+// replica.
+func TestVote3SingleCorruptionProperty(t *testing.T) {
+	f := func(v, corruption uint64, which uint8) bool {
+		r := [3]uint64{v, v, v}
+		r[which%3] ^= corruption
+		got, _ := Vote3(r[0], r[1], r[2])
+		return got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParity(t *testing.T) {
+	if Parity(0) != 0 {
+		t.Fatal("Parity(0) != 0")
+	}
+	if Parity(1) != 1 {
+		t.Fatal("Parity(1) != 1")
+	}
+	if Parity(0b11) != 0 {
+		t.Fatal("Parity(0b11) != 0")
+	}
+	if Parity(^uint64(0)) != 0 {
+		t.Fatal("Parity(all ones) != 0")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" || DoubleError.String() != "double-error" {
+		t.Fatal("status names wrong")
+	}
+	if Status(42).String() != "Status(42)" {
+		t.Fatal("unknown status name wrong")
+	}
+}
+
+func TestRandomizedStress(t *testing.T) {
+	rng := xrand.New(1234)
+	for i := 0; i < 2000; i++ {
+		v := rng.Uint64()
+		cw := Encode(v)
+		switch i % 3 {
+		case 0:
+			got, _, err := Decode(cw)
+			if err != nil || got != v {
+				t.Fatalf("clean decode failed: %v %x", err, got)
+			}
+		case 1:
+			pos := rng.Intn(72)
+			got, status, err := Decode(cw.Flip(pos))
+			if err != nil || status != Corrected || got != v {
+				t.Fatalf("single-error decode failed at pos %d", pos)
+			}
+		case 2:
+			p1 := rng.Intn(72)
+			p2 := rng.Intn(72)
+			if p1 == p2 {
+				continue
+			}
+			_, status, _ := Decode(cw.Flip(p1).Flip(p2))
+			if status != DoubleError {
+				t.Fatalf("double error (%d,%d) not detected: %v", p1, p2, status)
+			}
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	cw := Encode(0xDEADBEEF)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Decode(cw)
+	}
+}
+
+func BenchmarkDecodeCorrecting(b *testing.B) {
+	cw := Encode(0xDEADBEEF).Flip(13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Decode(cw)
+	}
+}

@@ -1,0 +1,51 @@
+package ecc
+
+import "testing"
+
+// FuzzDecode checks that Decode never panics on arbitrary codewords and
+// never reports OK for a codeword that differs from the re-encoding of
+// its own decoded data (no silent acceptance of corrupt words).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	cw := Encode(0xDEADBEEF)
+	f.Add(cw.Lo, cw.Hi)
+	f.Fuzz(func(t *testing.T, lo uint64, hi byte) {
+		c := Codeword{Lo: lo, Hi: hi}
+		data, status, err := Decode(c)
+		switch status {
+		case OK:
+			if err != nil {
+				t.Fatalf("OK with error: %v", err)
+			}
+			if Encode(data) != c {
+				t.Fatalf("OK but codeword %v is not Encode(%x)", c, data)
+			}
+		case Corrected:
+			if err != nil {
+				t.Fatalf("Corrected with error: %v", err)
+			}
+			// SEC-DED guarantees correction only for single errors;
+			// ≥3 corrupted bits can legitimately miscorrect (the code's
+			// minimum distance is 4). The invariant that always holds:
+			// Corrected implies the input had odd parity error, so its
+			// distance from any valid codeword — including the one the
+			// decoder chose — is odd.
+			want := Encode(data)
+			diff := 0
+			for pos := 0; pos < 72; pos++ {
+				if want.Bit(pos) != c.Bit(pos) {
+					diff++
+				}
+			}
+			if diff%2 != 1 {
+				t.Fatalf("Corrected at even distance %d from the chosen codeword", diff)
+			}
+		case DoubleError:
+			if err == nil {
+				t.Fatal("DoubleError without error")
+			}
+		default:
+			t.Fatalf("unknown status %v", status)
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"aft/internal/voting"
+	"aft/internal/xrand"
+)
+
+// Fig5Row is one panel of the paper's Fig. 5: a 7-replica voting round
+// with m dissenting votes and the resulting distance-to-failure.
+type Fig5Row struct {
+	// N is the number of replicas (7 in the figure).
+	N int
+	// Dissent is m, the number of votes differing from the majority.
+	Dissent int
+	// DTOF is the computed distance-to-failure.
+	DTOF int
+	// HasMajority reports whether a strict majority existed.
+	HasMajority bool
+	// Label matches the figure's panels: consensus … failure.
+	Label string
+}
+
+// RunFig5 regenerates the paper's Fig. 5 by actually running voting
+// rounds with 0..4 corrupted replicas out of 7 and reading the
+// distance-to-failure off each outcome.
+func RunFig5(seed uint64) ([]Fig5Row, error) {
+	farm, err := voting.NewFarm(7, func(v uint64) uint64 { return v })
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(seed)
+	var rows []Fig5Row
+	for m := 0; m <= 4; m++ {
+		m := m
+		o := farm.Round(42, func(i int) bool { return i < m }, rng)
+		label := "dissent"
+		switch {
+		case m == 0:
+			label = "consensus (farthest from failure)"
+		case !o.HasMajority:
+			label = "failure (no majority)"
+		}
+		rows = append(rows, Fig5Row{
+			N:           o.N,
+			Dissent:     m,
+			DTOF:        o.DTOF,
+			HasMajority: o.HasMajority,
+			Label:       label,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig5 prints the table behind the figure.
+func RenderFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 5 — distance-to-failure, 7-replica restoring organ\n")
+	b.WriteString("  m (dissent)  dtof  majority  note\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12d %-5d %-9v %s\n", r.Dissent, r.DTOF, r.HasMajority, r.Label)
+	}
+	return b.String()
+}

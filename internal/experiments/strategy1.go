@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"aft/internal/autoconf"
+	"aft/internal/memaccess"
+	"aft/internal/memsim"
+	"aft/internal/spd"
+	"aft/internal/xrand"
+)
+
+// E7Cell is one cell of the E7 survival matrix: a memory access method
+// exercised against a device profile.
+type E7Cell struct {
+	// Method is the access method's name.
+	Method string
+	// Profile is the device profile's assumption ID (f0–f4).
+	Profile string
+	// Selected reports whether the §3.1 selector picks this method for
+	// this profile.
+	Selected bool
+	// DataErrors counts reads that returned wrong data or an
+	// unrecoverable error during the burn-in.
+	DataErrors int64
+	// Reads is the total number of reads performed.
+	Reads int64
+}
+
+// E7Config parameterizes the survival matrix.
+type E7Config struct {
+	// Words is the logical working-set size.
+	Words int
+	// Ticks is the number of device fault ticks interleaved with
+	// access sweeps.
+	Ticks int
+	// Seed drives injection.
+	Seed uint64
+}
+
+// DefaultE7Config returns a burn-in heavy enough to exercise every
+// fault class of every profile.
+func DefaultE7Config() E7Config {
+	return E7Config{Words: 32, Ticks: 3000, Seed: 7}
+}
+
+// profileConfigs maps each assumption to the device configuration whose
+// ground-truth fault classes it describes.
+func profileConfigs(words int) map[string]memsim.Config {
+	return map[string]memsim.Config{
+		"f0": memsim.StableConfig("f0-dev", words),
+		"f1": memsim.CMOSConfig("f1-dev", words),
+		"f2": memsim.AgedCMOSConfig("f2-dev", words),
+		"f3": memsim.SDRAMConfig("f3-dev", words),
+		"f4": memsim.HarshSDRAMConfig("f4-dev", words),
+	}
+}
+
+// RunE7 builds every method over every device profile, burns each pair
+// in under the profile's fault injection, and reports data errors. The
+// §3.1 thesis is visible in the matrix: the selected method is the
+// cheapest row with zero errors in its column.
+func RunE7(cfg E7Config) ([]E7Cell, error) {
+	if cfg.Words <= 0 || cfg.Ticks <= 0 {
+		return nil, fmt.Errorf("experiments: E7 needs positive Words and Ticks")
+	}
+	selector := autoconf.NewSelector(nil, nil)
+	var cells []E7Cell
+	for _, profileID := range []string{"f0", "f1", "f2", "f3", "f4"} {
+		assumption, ok := spd.AssumptionByID(profileID)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown assumption %q", profileID)
+		}
+		decision, err := selector.SelectAssumption(assumption)
+		if err != nil {
+			return nil, err
+		}
+		for _, methodSpec := range memaccess.Specs() {
+			cell, err := burnIn(cfg, profileID, methodSpec)
+			if err != nil {
+				return nil, err
+			}
+			cell.Selected = methodSpec.Name == decision.Chosen.Name
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// burnIn exercises one method over one profile. Methods exposing a
+// patrol scrub run it periodically, as real ECC memory controllers do;
+// after any data error the word is re-seeded so errors are counted per
+// event rather than per sweep visit.
+func burnIn(cfg E7Config, profileID string, spec memaccess.Spec) (E7Cell, error) {
+	rng := xrand.New(cfg.Seed)
+	devCfg := profileConfigs(cfg.Words * 4)[profileID]
+	devs := make([]*memsim.Device, spec.Devices)
+	for i := range devs {
+		d, err := memsim.New(devCfg, rng)
+		if err != nil {
+			return E7Cell{}, err
+		}
+		devs[i] = d
+	}
+	m, err := spec.Build(devs)
+	if err != nil {
+		return E7Cell{}, err
+	}
+	cell := E7Cell{Method: spec.Name, Profile: profileID}
+
+	words := cfg.Words
+	if m.Size() < words {
+		words = m.Size()
+	}
+	expect := make(map[int]uint64, words)
+	for i := 0; i < words; i++ {
+		v := uint64(i)*0x9E3779B97F4A7C15 + 1
+		if err := m.Write(i, v); err == nil {
+			expect[i] = v
+		} else {
+			// A halted device (f4 profile) can block even writes for
+			// methods without reset capability; count as data error.
+			cell.DataErrors++
+		}
+	}
+	scrubber, canScrub := m.(memaccess.Scrubber)
+	const scrubEvery = 16
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		for _, d := range devs {
+			d.Tick()
+		}
+		if canScrub && tick%scrubEvery == scrubEvery-1 {
+			scrubber.Scrub()
+		}
+		// Sweep one word per tick, round-robin, verifying contents.
+		addr := tick % words
+		v, err := m.Read(addr)
+		cell.Reads++
+		if err == nil && v == expect[addr] {
+			continue
+		}
+		cell.DataErrors++
+		// Methods without SFI recovery stay stuck on a halted device;
+		// reset out-of-band so the burn-in measures data loss rather
+		// than one sticky halt.
+		if errors.Is(err, memsim.ErrHalted) {
+			for _, d := range devs {
+				if d.Halted() {
+					d.PowerReset()
+				}
+			}
+		}
+		// Re-seed the damaged word so one fault counts one error.
+		_ = m.Write(addr, expect[addr])
+	}
+	return cell, nil
+}
+
+// RenderE7 prints the survival matrix.
+func RenderE7(cells []E7Cell) string {
+	var b strings.Builder
+	b.WriteString("E7 — §3.1 selection matrix and burn-in survival\n")
+	b.WriteString("  profile  method       selected  reads  data-errors\n")
+	for _, c := range cells {
+		sel := ""
+		if c.Selected {
+			sel = "  <== chosen by autoconf"
+		}
+		fmt.Fprintf(&b, "  %-8s %-12s %-9v %-6d %-6d%s\n",
+			c.Profile, c.Method, c.Selected, c.Reads, c.DataErrors, sel)
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"aft/internal/xrand"
+)
+
+func TestClassString(t *testing.T) {
+	tests := []struct {
+		give Class
+		want string
+	}{
+		{Transient, "transient"},
+		{Intermittent, "intermittent"},
+		{Permanent, "permanent"},
+		{Class(99), "Class(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestEffectString(t *testing.T) {
+	tests := []struct {
+		give Effect
+		want string
+	}{
+		{BitFlip, "bit-flip (SEU)"},
+		{StuckAt, "stuck-at"},
+		{LatchUp, "latch-up (SEL)"},
+		{FunctionalInterrupt, "functional interrupt (SFI)"},
+		{WrongValue, "wrong value"},
+		{Crash, "crash"},
+		{Effect(42), "Effect(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Effect.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	f := Fault{Class: Permanent, Effect: LatchUp, Target: "dimm0"}
+	if got := f.String(); !strings.Contains(got, "permanent") || !strings.Contains(got, "dimm0") {
+		t.Fatalf("Fault.String() = %q", got)
+	}
+}
+
+func TestNeverAlways(t *testing.T) {
+	rng := xrand.New(1)
+	for i := 0; i < 100; i++ {
+		if (Never{}).Step(rng) {
+			t.Fatal("Never struck")
+		}
+		if !(Always{}).Step(rng) {
+			t.Fatal("Always did not strike")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	rng := xrand.New(2)
+	m := Bernoulli{P: 0.1}
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if m.Step(rng) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.1) > 0.01 {
+		t.Fatalf("Bernoulli(0.1) rate %v", rate)
+	}
+}
+
+func TestBurstHasBursts(t *testing.T) {
+	rng := xrand.New(3)
+	m := &Burst{PGood: 0.001, PBad: 0.5, GoodToBad: 0.01, BadToGood: 0.1}
+	const n = 100000
+	hits, badSteps := 0, 0
+	for i := 0; i < n; i++ {
+		if m.Step(rng) {
+			hits++
+		}
+		if m.InBadState() {
+			badSteps++
+		}
+	}
+	if badSteps == 0 {
+		t.Fatal("burst model never entered bad state")
+	}
+	if badSteps == n {
+		t.Fatal("burst model never recovered")
+	}
+	// Overall rate must sit well above the good-state base rate: bursts
+	// must contribute.
+	rate := float64(hits) / n
+	if rate < 0.005 {
+		t.Fatalf("burst rate %v indistinguishable from background", rate)
+	}
+}
+
+func TestBurstDeterminism(t *testing.T) {
+	run := func() []bool {
+		rng := xrand.New(4)
+		m := &Burst{PGood: 0.01, PBad: 0.4, GoodToBad: 0.05, BadToGood: 0.1}
+		out := make([]bool, 1000)
+		for i := range out {
+			out[i] = m.Step(rng)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("burst model nondeterministic at step %d", i)
+		}
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := NewCampaign(); err == nil {
+		t.Fatal("empty campaign accepted")
+	}
+	if _, err := NewCampaign(Phase{Start: 5, Model: Never{}}); err == nil {
+		t.Fatal("campaign not starting at 0 accepted")
+	}
+	if _, err := NewCampaign(
+		Phase{Start: 0, Model: Never{}},
+		Phase{Start: 0, Model: Always{}},
+	); err == nil {
+		t.Fatal("non-increasing phase starts accepted")
+	}
+}
+
+func TestCampaignPhases(t *testing.T) {
+	c, err := NewCampaign(
+		Phase{Start: 0, Model: Never{}},
+		Phase{Start: 10, Model: Always{}},
+		Phase{Start: 20, Model: Never{}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	for i := int64(0); i < 30; i++ {
+		hit := c.Step(rng)
+		wantHit := i >= 10 && i < 20
+		if hit != wantHit {
+			t.Fatalf("step %d: hit=%v, want %v", i, hit, wantHit)
+		}
+	}
+	if c.Now() != 30 {
+		t.Fatalf("campaign Now() = %d, want 30", c.Now())
+	}
+}
+
+func TestScripted(t *testing.T) {
+	m := NewScripted(0, 3, 7)
+	rng := xrand.New(6)
+	var got []int64
+	for i := int64(0); i < 10; i++ {
+		if m.Step(rng) {
+			got = append(got, i)
+		}
+	}
+	want := []int64{0, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("scripted strikes %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scripted strikes %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLatch(t *testing.T) {
+	var l Latch
+	if l.Tripped() {
+		t.Fatal("fresh latch tripped")
+	}
+	l.Trip()
+	if !l.Tripped() {
+		t.Fatal("Trip did not latch")
+	}
+	l.Trip() // idempotent
+	if !l.Tripped() {
+		t.Fatal("Trip not idempotent")
+	}
+	l.Repair()
+	if l.Tripped() {
+		t.Fatal("Repair did not clear")
+	}
+}
+
+func TestClassMixProportions(t *testing.T) {
+	rng := xrand.New(7)
+	mix := ClassMix{PIntermittent: 0.2, PPermanent: 0.1}
+	const n = 100000
+	counts := map[Class]int{}
+	for i := 0; i < n; i++ {
+		counts[mix.Draw(rng)]++
+	}
+	check := func(c Class, want float64) {
+		got := float64(counts[c]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("class %v frequency %v, want ~%v", c, got, want)
+		}
+	}
+	check(Permanent, 0.1)
+	check(Intermittent, 0.2)
+	check(Transient, 0.7)
+}
+
+func TestClassMixAllTransient(t *testing.T) {
+	rng := xrand.New(8)
+	mix := ClassMix{}
+	for i := 0; i < 100; i++ {
+		if got := mix.Draw(rng); got != Transient {
+			t.Fatalf("zero mix drew %v", got)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package ftpatterns implements the fault-tolerance design patterns
+// whose choice the paper's §3.2 postpones to run time:
+//
+//   - Redoing ("repeat on failure"), the natural choice under assumption
+//     e1: "the physical environment shall exhibit transient faults";
+//   - Reconfiguration ("replace on failure"), the natural choice under
+//     e2: "the physical environment shall exhibit permanent faults".
+//
+// The paper's two clash claims are directly observable through the
+// Result accounting:
+//
+//  1. a clash of e1 (redoing under permanent faults) "implies a livelock
+//     (endless repetition)" — visible as retry exhaustion with maximal
+//     Attempts;
+//  2. a clash of e2 (reconfiguration under transient faults) "implies an
+//     unnecessary expenditure of resources" — visible as spare
+//     Activations burned on faults that would have vanished by
+//     themselves.
+package ftpatterns
+
+import (
+	"errors"
+	"fmt"
+
+	"aft/internal/faults"
+	"aft/internal/xrand"
+)
+
+// Version is one implementation of a replaceable component. It returns
+// nil on success and an error when the environment's fault strikes it.
+type Version func() error
+
+// ErrVersionFault is the generic failure a Version reports when struck.
+var ErrVersionFault = errors.New("ftpatterns: version failed")
+
+// Errors returned by pattern invocations.
+var (
+	// ErrRetriesExhausted reports a Redoing livelock cut short by the
+	// retry bound: the e1-vs-permanent clash of the paper.
+	ErrRetriesExhausted = errors.New("ftpatterns: retries exhausted (livelock under permanent fault)")
+	// ErrSparesExhausted reports a Reconfiguration that ran out of
+	// spare versions.
+	ErrSparesExhausted = errors.New("ftpatterns: spare versions exhausted")
+)
+
+// Result accounts for one pattern invocation.
+type Result struct {
+	// OK reports whether the component eventually produced its service.
+	OK bool
+	// Attempts is the number of version executions performed.
+	Attempts int
+	// Activations is the number of spare activations performed (the
+	// resource expenditure of reconfiguration).
+	Activations int
+	// Err is the terminal error for failed invocations.
+	Err error
+}
+
+// Pattern is a fault-tolerance design pattern wrapped around a
+// component.
+type Pattern interface {
+	// Name identifies the pattern.
+	Name() string
+	// Invoke runs the component once under the pattern's policy.
+	Invoke() Result
+	// Stats reports cumulative attempts and activations across all
+	// invocations.
+	Stats() (attempts, activations int64)
+}
+
+// --- Redoing ----------------------------------------------------------
+
+// Redoing retries the same version on failure, up to a bound. The bound
+// models the watchdog that would cut a true livelock; hitting it is the
+// observable signature of the e1 clash.
+type Redoing struct {
+	version    Version
+	maxRetries int
+
+	attempts    int64
+	exhaustions int64
+}
+
+var _ Pattern = (*Redoing)(nil)
+
+// NewRedoing builds the pattern. maxRetries is the number of *re*-tries
+// after the first attempt and must be non-negative.
+func NewRedoing(version Version, maxRetries int) (*Redoing, error) {
+	if version == nil {
+		return nil, fmt.Errorf("ftpatterns: nil version")
+	}
+	if maxRetries < 0 {
+		return nil, fmt.Errorf("ftpatterns: negative retry bound %d", maxRetries)
+	}
+	return &Redoing{version: version, maxRetries: maxRetries}, nil
+}
+
+// Name implements Pattern.
+func (*Redoing) Name() string { return "redoing" }
+
+// Invoke implements Pattern.
+func (r *Redoing) Invoke() Result {
+	var res Result
+	for i := 0; i <= r.maxRetries; i++ {
+		res.Attempts++
+		r.attempts++
+		if err := r.version(); err == nil {
+			res.OK = true
+			return res
+		}
+	}
+	r.exhaustions++
+	res.Err = ErrRetriesExhausted
+	return res
+}
+
+// Stats implements Pattern.
+func (r *Redoing) Stats() (attempts, activations int64) { return r.attempts, 0 }
+
+// Exhaustions reports how many invocations hit the retry bound.
+func (r *Redoing) Exhaustions() int64 { return r.exhaustions }
+
+// --- Reconfiguration --------------------------------------------------
+
+// Reconfiguration replaces the failed version with the next spare: the
+// 2-version primary/secondary scheme of the paper's Fig. 3 generalized
+// to any number of spares. The switch is persistent across invocations —
+// once the primary is abandoned, service continues on the spare.
+type Reconfiguration struct {
+	versions []Version
+	current  int
+
+	attempts    int64
+	activations int64
+}
+
+var _ Pattern = (*Reconfiguration)(nil)
+
+// NewReconfiguration builds the pattern over a primary and its spares.
+func NewReconfiguration(versions ...Version) (*Reconfiguration, error) {
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("ftpatterns: reconfiguration needs at least one version")
+	}
+	for i, v := range versions {
+		if v == nil {
+			return nil, fmt.Errorf("ftpatterns: version %d is nil", i)
+		}
+	}
+	vs := make([]Version, len(versions))
+	copy(vs, versions)
+	return &Reconfiguration{versions: vs}, nil
+}
+
+// Name implements Pattern.
+func (*Reconfiguration) Name() string { return "reconfiguration" }
+
+// Invoke implements Pattern.
+func (r *Reconfiguration) Invoke() Result {
+	var res Result
+	for r.current < len(r.versions) {
+		res.Attempts++
+		r.attempts++
+		if err := r.versions[r.current](); err == nil {
+			res.OK = true
+			return res
+		}
+		// Replace on failure: activate the next spare.
+		r.current++
+		if r.current < len(r.versions) {
+			res.Activations++
+			r.activations++
+		}
+	}
+	res.Err = ErrSparesExhausted
+	return res
+}
+
+// Stats implements Pattern.
+func (r *Reconfiguration) Stats() (attempts, activations int64) {
+	return r.attempts, r.activations
+}
+
+// Current reports the index of the active version (0 = primary).
+func (r *Reconfiguration) Current() int { return r.current }
+
+// Reset reverts to the primary version, modelling a repair.
+func (r *Reconfiguration) Reset() { r.current = 0 }
+
+// --- Version builders -------------------------------------------------
+
+// FaultyVersion builds a Version that fails on every step where the
+// fault model strikes.
+func FaultyVersion(m faults.Model, rng *xrand.Rand) Version {
+	return func() error {
+		if m.Step(rng) {
+			return ErrVersionFault
+		}
+		return nil
+	}
+}
+
+// LatchedVersion builds a Version that fails while the latch is tripped
+// (a permanent or intermittent fault bound to this version only — its
+// spares are unaffected).
+func LatchedVersion(l *faults.Latch) Version {
+	return func() error {
+		if l.Tripped() {
+			return ErrVersionFault
+		}
+		return nil
+	}
+}
+
+// ReliableVersion always succeeds.
+func ReliableVersion() Version {
+	return func() error { return nil }
+}

@@ -1,0 +1,242 @@
+package ftpatterns
+
+import (
+	"errors"
+	"testing"
+
+	"aft/internal/faults"
+	"aft/internal/xrand"
+)
+
+func TestRedoingValidation(t *testing.T) {
+	if _, err := NewRedoing(nil, 3); err == nil {
+		t.Fatal("nil version accepted")
+	}
+	if _, err := NewRedoing(ReliableVersion(), -1); err == nil {
+		t.Fatal("negative retry bound accepted")
+	}
+}
+
+func TestRedoingSucceedsFirstTry(t *testing.T) {
+	r, err := NewRedoing(ReliableVersion(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Invoke()
+	if !res.OK || res.Attempts != 1 || res.Activations != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRedoingMasksTransient(t *testing.T) {
+	// Fail twice, then succeed — the e1 match case.
+	failures := 2
+	v := func() error {
+		if failures > 0 {
+			failures--
+			return ErrVersionFault
+		}
+		return nil
+	}
+	r, err := NewRedoing(v, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Invoke()
+	if !res.OK || res.Attempts != 3 {
+		t.Fatalf("result = %+v, want OK after 3 attempts", res)
+	}
+}
+
+func TestRedoingLivelockUnderPermanent(t *testing.T) {
+	// The paper's clash 1: redoing a permanently failed component loops
+	// forever; the retry bound converts the livelock into exhaustion.
+	var latch faults.Latch
+	latch.Trip()
+	r, err := NewRedoing(LatchedVersion(&latch), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Invoke()
+	if res.OK {
+		t.Fatal("redoing succeeded under a permanent fault")
+	}
+	if !errors.Is(res.Err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v", res.Err)
+	}
+	if res.Attempts != 11 {
+		t.Fatalf("attempts = %d, want 11 (1 + 10 retries: maximal waste)", res.Attempts)
+	}
+	if r.Exhaustions() != 1 {
+		t.Fatalf("exhaustions = %d", r.Exhaustions())
+	}
+}
+
+func TestReconfigurationValidation(t *testing.T) {
+	if _, err := NewReconfiguration(); err == nil {
+		t.Fatal("empty version list accepted")
+	}
+	if _, err := NewReconfiguration(ReliableVersion(), nil); err == nil {
+		t.Fatal("nil spare accepted")
+	}
+}
+
+func TestReconfigurationSwitchesOnPermanent(t *testing.T) {
+	// The e2 match case (Fig. 3's D2): primary c3.1 has a permanent
+	// fault; the secondary c3.2 takes over, persistently.
+	var latch faults.Latch
+	latch.Trip()
+	r, err := NewReconfiguration(LatchedVersion(&latch), ReliableVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Invoke()
+	if !res.OK || res.Attempts != 2 || res.Activations != 1 {
+		t.Fatalf("result = %+v, want OK with 1 activation", res)
+	}
+	if r.Current() != 1 {
+		t.Fatalf("current = %d, want 1 (secondary)", r.Current())
+	}
+	// Next invocation goes straight to the spare: no further cost.
+	res = r.Invoke()
+	if !res.OK || res.Attempts != 1 || res.Activations != 0 {
+		t.Fatalf("second invocation = %+v", res)
+	}
+}
+
+func TestReconfigurationWastesSparesOnTransients(t *testing.T) {
+	// The paper's clash 2: a single transient fault permanently burns a
+	// spare even though redoing would have recovered for free.
+	calls := 0
+	flaky := func() error {
+		calls++
+		if calls == 1 {
+			return ErrVersionFault // one transient blip
+		}
+		return nil
+	}
+	r, err := NewReconfiguration(flaky, ReliableVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Invoke()
+	if !res.OK {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Activations != 1 {
+		t.Fatalf("activations = %d, want 1 (the wasted spare)", res.Activations)
+	}
+	if r.Current() != 1 {
+		t.Fatal("primary was not abandoned — clash accounting broken")
+	}
+}
+
+func TestReconfigurationExhaustsSpares(t *testing.T) {
+	bad := func() error { return ErrVersionFault }
+	r, err := NewReconfiguration(bad, bad, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Invoke()
+	if res.OK || !errors.Is(res.Err, ErrSparesExhausted) {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Attempts != 3 || res.Activations != 2 {
+		t.Fatalf("attempts=%d activations=%d, want 3/2", res.Attempts, res.Activations)
+	}
+	// Exhausted stays exhausted.
+	res = r.Invoke()
+	if res.OK || res.Attempts != 0 {
+		t.Fatalf("post-exhaustion invocation = %+v", res)
+	}
+}
+
+func TestReconfigurationReset(t *testing.T) {
+	var latch faults.Latch
+	latch.Trip()
+	r, err := NewReconfiguration(LatchedVersion(&latch), ReliableVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Invoke()
+	latch.Repair()
+	r.Reset()
+	res := r.Invoke()
+	if !res.OK || res.Attempts != 1 || r.Current() != 0 {
+		t.Fatalf("after reset: %+v current=%d", res, r.Current())
+	}
+}
+
+func TestStats(t *testing.T) {
+	var latch faults.Latch
+	latch.Trip()
+	re, _ := NewRedoing(LatchedVersion(&latch), 2)
+	re.Invoke()
+	re.Invoke()
+	attempts, activations := re.Stats()
+	if attempts != 6 || activations != 0 {
+		t.Fatalf("redoing stats = %d/%d", attempts, activations)
+	}
+	rc, _ := NewReconfiguration(LatchedVersion(&latch), ReliableVersion())
+	rc.Invoke()
+	rc.Invoke()
+	attempts, activations = rc.Stats()
+	if attempts != 3 || activations != 1 {
+		t.Fatalf("reconfiguration stats = %d/%d", attempts, activations)
+	}
+}
+
+func TestFaultyVersion(t *testing.T) {
+	rng := xrand.New(5)
+	v := FaultyVersion(faults.Bernoulli{P: 0.5}, rng)
+	failuresSeen, successes := 0, 0
+	for i := 0; i < 1000; i++ {
+		if err := v(); err != nil {
+			if !errors.Is(err, ErrVersionFault) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			failuresSeen++
+		} else {
+			successes++
+		}
+	}
+	if failuresSeen < 400 || failuresSeen > 600 {
+		t.Fatalf("Bernoulli(0.5) version failed %d/1000 times", failuresSeen)
+	}
+	if successes == 0 {
+		t.Fatal("no successes")
+	}
+}
+
+func TestLatchedVersionFollowsLatch(t *testing.T) {
+	var l faults.Latch
+	v := LatchedVersion(&l)
+	if err := v(); err != nil {
+		t.Fatal("untripped latch failed")
+	}
+	l.Trip()
+	if err := v(); err == nil {
+		t.Fatal("tripped latch succeeded")
+	}
+	l.Repair()
+	if err := v(); err != nil {
+		t.Fatal("repaired latch failed")
+	}
+}
+
+func TestPatternInterfaces(t *testing.T) {
+	var patterns []Pattern
+	re, _ := NewRedoing(ReliableVersion(), 1)
+	rc, _ := NewReconfiguration(ReliableVersion())
+	patterns = append(patterns, re, rc)
+	names := map[string]bool{}
+	for _, p := range patterns {
+		names[p.Name()] = true
+		if res := p.Invoke(); !res.OK {
+			t.Fatalf("%s failed on reliable version", p.Name())
+		}
+	}
+	if !names["redoing"] || !names["reconfiguration"] {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -1,0 +1,87 @@
+package ftpatterns
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAlternatesExhausted reports a recovery block whose every alternate
+// failed its acceptance test.
+var ErrAlternatesExhausted = errors.New("ftpatterns: recovery block alternates exhausted")
+
+// RecoveryBlock implements the classic recovery-block scheme (Randell):
+// a primary and ordered alternates, an acceptance test that validates
+// each attempt, and state restoration before every retry with a
+// different alternate.
+//
+// Its policy sits between the two §3.2 patterns: like redoing, every
+// invocation starts from the primary (so transients cost nothing
+// lasting); like reconfiguration, a failing primary does not block the
+// invocation (alternates serve it). What it cannot do is *learn* — a
+// permanent primary fault costs one wasted attempt on every invocation,
+// which is exactly the niche the paper's adaptive strategy fills.
+type RecoveryBlock struct {
+	versions []Version
+	accept   func() error
+	restore  func()
+
+	attempts  int64
+	fallbacks int64
+}
+
+var _ Pattern = (*RecoveryBlock)(nil)
+
+// NewRecoveryBlock builds a recovery block from a primary and its
+// alternates. accept validates the post-state after a version ran (nil
+// means "a nil version error is acceptance enough"); restore rolls the
+// state back before an alternate runs (nil means stateless).
+func NewRecoveryBlock(accept func() error, restore func(), versions ...Version) (*RecoveryBlock, error) {
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("ftpatterns: recovery block needs at least one version")
+	}
+	for i, v := range versions {
+		if v == nil {
+			return nil, fmt.Errorf("ftpatterns: version %d is nil", i)
+		}
+	}
+	vs := make([]Version, len(versions))
+	copy(vs, versions)
+	return &RecoveryBlock{versions: vs, accept: accept, restore: restore}, nil
+}
+
+// Name implements Pattern.
+func (*RecoveryBlock) Name() string { return "recovery-block" }
+
+// Invoke implements Pattern: try the primary, validate with the
+// acceptance test, fall through the alternates with state restoration.
+func (r *RecoveryBlock) Invoke() Result {
+	var res Result
+	for i, v := range r.versions {
+		if i > 0 {
+			if r.restore != nil {
+				r.restore()
+			}
+			r.fallbacks++
+			res.Activations++
+		}
+		res.Attempts++
+		r.attempts++
+		if err := v(); err != nil {
+			continue
+		}
+		if r.accept != nil {
+			if err := r.accept(); err != nil {
+				continue
+			}
+		}
+		res.OK = true
+		return res
+	}
+	res.Err = ErrAlternatesExhausted
+	return res
+}
+
+// Stats implements Pattern.
+func (r *RecoveryBlock) Stats() (attempts, activations int64) {
+	return r.attempts, r.fallbacks
+}

@@ -1,0 +1,155 @@
+package ftpatterns
+
+import (
+	"errors"
+	"testing"
+
+	"aft/internal/faults"
+)
+
+func TestRecoveryBlockValidation(t *testing.T) {
+	if _, err := NewRecoveryBlock(nil, nil); err == nil {
+		t.Fatal("empty version list accepted")
+	}
+	if _, err := NewRecoveryBlock(nil, nil, ReliableVersion(), nil); err == nil {
+		t.Fatal("nil alternate accepted")
+	}
+}
+
+func TestRecoveryBlockPrimarySucceeds(t *testing.T) {
+	rb, err := NewRecoveryBlock(nil, nil, ReliableVersion(), ReliableVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rb.Invoke()
+	if !res.OK || res.Attempts != 1 || res.Activations != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRecoveryBlockFallsThroughToAlternate(t *testing.T) {
+	var latch faults.Latch
+	latch.Trip()
+	rb, err := NewRecoveryBlock(nil, nil,
+		LatchedVersion(&latch), ReliableVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rb.Invoke()
+	if !res.OK || res.Attempts != 2 || res.Activations != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Unlike reconfiguration, the next invocation starts at the primary
+	// again: the permanent fault costs one attempt every time.
+	res = rb.Invoke()
+	if !res.OK || res.Attempts != 2 {
+		t.Fatalf("second invocation = %+v (recovery blocks do not learn)", res)
+	}
+}
+
+func TestRecoveryBlockAcceptanceTestRejects(t *testing.T) {
+	// The primary "succeeds" but leaves a state the acceptance test
+	// rejects — the defining recovery-block feature.
+	state := 0
+	sloppy := func() error { state = -1; return nil } // wrong result, no error
+	careful := func() error { state = 42; return nil }
+	accept := func() error {
+		if state < 0 {
+			return errors.New("acceptance: negative state")
+		}
+		return nil
+	}
+	restored := 0
+	restore := func() { state = 0; restored++ }
+
+	rb, err := NewRecoveryBlock(accept, restore, sloppy, careful)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rb.Invoke()
+	if !res.OK || res.Attempts != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if state != 42 {
+		t.Fatalf("state = %d, want 42", state)
+	}
+	if restored != 1 {
+		t.Fatalf("restore ran %d times, want 1", restored)
+	}
+}
+
+func TestRecoveryBlockExhaustion(t *testing.T) {
+	bad := func() error { return ErrVersionFault }
+	rb, err := NewRecoveryBlock(nil, nil, bad, bad, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rb.Invoke()
+	if res.OK || !errors.Is(res.Err, ErrAlternatesExhausted) {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Attempts != 3 || res.Activations != 2 {
+		t.Fatalf("attempts/activations = %d/%d", res.Attempts, res.Activations)
+	}
+	// Unlike reconfiguration, exhaustion is per-invocation: the block
+	// retries the full chain next time.
+	res = rb.Invoke()
+	if res.Attempts != 3 {
+		t.Fatalf("post-exhaustion attempts = %d", res.Attempts)
+	}
+	attempts, fallbacks := rb.Stats()
+	if attempts != 6 || fallbacks != 4 {
+		t.Fatalf("stats = %d/%d", attempts, fallbacks)
+	}
+}
+
+func TestRecoveryBlockIsAPattern(t *testing.T) {
+	rb, err := NewRecoveryBlock(nil, nil, ReliableVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Pattern = rb
+	if p.Name() != "recovery-block" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+// TestThreePatternsUnderPermanentFault contrasts the three families on
+// the same permanent fault: redoing livelocks, the recovery block pays a
+// constant tax, reconfiguration learns.
+func TestThreePatternsUnderPermanentFault(t *testing.T) {
+	var latch faults.Latch
+	latch.Trip()
+	primary := LatchedVersion(&latch)
+	spare := ReliableVersion()
+
+	redo, _ := NewRedoing(primary, 3)
+	rb, _ := NewRecoveryBlock(nil, nil, primary, spare)
+	rc, _ := NewReconfiguration(primary, spare)
+
+	const n = 50
+	redoFailures := 0
+	for i := 0; i < n; i++ {
+		if !redo.Invoke().OK {
+			redoFailures++
+		}
+		if !rb.Invoke().OK {
+			t.Fatal("recovery block failed with a reliable alternate")
+		}
+		if !rc.Invoke().OK {
+			t.Fatal("reconfiguration failed with a reliable spare")
+		}
+	}
+	if redoFailures != n {
+		t.Fatalf("redoing failures = %d, want %d", redoFailures, n)
+	}
+	redoAttempts, _ := redo.Stats()
+	rbAttempts, _ := rb.Stats()
+	rcAttempts, _ := rc.Stats()
+	// Ordering: redoing (4 per invocation) > recovery block (2) >
+	// reconfiguration (1 + the single switch).
+	if !(redoAttempts > rbAttempts && rbAttempts > rcAttempts) {
+		t.Fatalf("attempt ordering wrong: redo=%d rb=%d rc=%d",
+			redoAttempts, rbAttempts, rcAttempts)
+	}
+}

@@ -1,0 +1,279 @@
+// Package holistic assembles the paper's §5 vision into one system: "a
+// unitary view to the whole of the 'time stages' of software
+// development", in which "the model, compile-, deployment-, and run-time
+// layers feed one another with deductions and control knobs", so that
+// "knowledge slipping from one layer [is] still caught in another".
+//
+// A System wires together, over one notification bus and one virtual
+// clock:
+//
+//   - the deploy-time layer: an assumption manifest materialized into a
+//     registry (package manifest, core);
+//   - the compile-time layer: the §3.1 memory-method selection, whose
+//     retrieved assumption is recorded back into the registry;
+//   - the run-time layers: the §3.2 adaptation manager and the §3.3
+//     autonomic redundancy switchboard;
+//   - the executive re-verifying every assumption periodically; and
+//   - the §5 agent web, receiving every clash as shared knowledge.
+//
+// The package test drives a full cross-layer scenario; the System type
+// itself is the library's "assumption failure-tolerant software system"
+// in miniature.
+package holistic
+
+import (
+	"fmt"
+
+	"aft/internal/accada"
+	"aft/internal/agents"
+	"aft/internal/alphacount"
+	"aft/internal/autoconf"
+	"aft/internal/core"
+	"aft/internal/dag"
+	"aft/internal/manifest"
+	"aft/internal/memaccess"
+	"aft/internal/memsim"
+	"aft/internal/pubsub"
+	"aft/internal/redundancy"
+	"aft/internal/simclock"
+	"aft/internal/spd"
+	"aft/internal/trace"
+	"aft/internal/voting"
+)
+
+// Config assembles a System.
+type Config struct {
+	// Manifest declares the system's assumption variables.
+	Manifest *manifest.Manifest
+	// Module is the probed memory identity for the §3.1 layer.
+	Module spd.Record
+	// Devices back the selected memory method.
+	Devices []*memsim.Device
+	// Alpha configures both the §3.2 oracle and its registry twin.
+	Alpha alphacount.Config
+	// Policy configures the §3.3 switchboard.
+	Policy redundancy.Policy
+	// VerifyEvery is the executive's sweep period in virtual time.
+	VerifyEvery simclock.Time
+}
+
+// System is the assembled whole.
+type System struct {
+	// Registry is the assumption web.
+	Registry *core.Registry
+	// Bus carries fault notifications, adaptations, clashes, and agent
+	// knowledge.
+	Bus *pubsub.Bus
+	// Clock is the shared virtual clock.
+	Clock *simclock.Scheduler
+	// Executive re-verifies the registry.
+	Executive *core.Executive
+	// Agents is the §5 web.
+	Agents *agents.Web
+	// Memory is the §3.1-selected method.
+	Memory memaccess.Method
+	// MemoryDecision is the §3.1 audit trail.
+	MemoryDecision autoconf.Decision
+	// Adaptation is the §3.2 manager over the live architecture.
+	Adaptation *accada.Manager
+	// Architecture is the live reflective DAG.
+	Architecture *dag.Graph
+	// Switchboard is the §3.3 autonomic redundancy loop.
+	Switchboard *redundancy.Switchboard
+	// Trace records everything.
+	Trace *trace.Recorder
+}
+
+// New assembles a System from cfg.
+func New(cfg Config) (*System, error) {
+	if cfg.Manifest == nil {
+		return nil, fmt.Errorf("holistic: nil manifest")
+	}
+	if cfg.VerifyEvery <= 0 {
+		return nil, fmt.Errorf("holistic: VerifyEvery must be positive")
+	}
+	reg, err := cfg.Manifest.Materialize()
+	if err != nil {
+		return nil, fmt.Errorf("holistic: materialize manifest: %w", err)
+	}
+
+	s := &System{
+		Registry: reg,
+		Bus:      pubsub.New(),
+		Clock:    simclock.New(),
+		Trace:    trace.New(),
+	}
+
+	// §3.1: compile-time layer. The retrieved assumption is fed back
+	// into the registry if the manifest declares the variable.
+	sel := autoconf.NewSelector(nil, nil)
+	decision, err := sel.Select(cfg.Module)
+	if err != nil {
+		return nil, fmt.Errorf("holistic: memory selection: %w", err)
+	}
+	if len(cfg.Devices) < decision.Chosen.Devices {
+		return nil, fmt.Errorf("holistic: method %s needs %d devices, have %d",
+			decision.Chosen.Name, decision.Chosen.Devices, len(cfg.Devices))
+	}
+	mem, err := decision.Chosen.Build(cfg.Devices[:decision.Chosen.Devices])
+	if err != nil {
+		return nil, fmt.Errorf("holistic: build memory method: %w", err)
+	}
+	s.Memory = mem
+	s.MemoryDecision = decision
+	if hasVariable(reg, "memory.failure-semantics") {
+		if err := reg.Bind("memory.failure-semantics", decision.Assumption.ID, core.CompileTime); err != nil {
+			return nil, fmt.Errorf("holistic: record memory assumption: %w", err)
+		}
+		if err := reg.AttachTruth("memory.failure-semantics", func() (string, error) {
+			return decision.Assumption.ID, nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// §3.2: run-time adaptation layer over a Fig. 3 architecture.
+	s.Architecture = dag.New()
+	for _, n := range []string{"c1", "c2", "c3"} {
+		if err := s.Architecture.AddNode(n, nil); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Architecture.AddEdge("c1", "c2"); err != nil {
+		return nil, err
+	}
+	if err := s.Architecture.AddEdge("c2", "c3"); err != nil {
+		return nil, err
+	}
+	d1 := s.Architecture.Snapshot()
+	alt := dag.New()
+	for _, n := range []string{"c1", "c2", "c3.1", "c3.2"} {
+		if err := alt.AddNode(n, nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range [][2]string{{"c1", "c2"}, {"c2", "c3.1"}, {"c3.1", "c3.2"}} {
+		if err := alt.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	now := func() int64 { return int64(s.Clock.Now()) }
+	mgr, err := accada.NewManager(s.Architecture, s.Bus, cfg.Alpha,
+		accada.WithRecorder(s.Trace), accada.WithClock(now))
+	if err != nil {
+		return nil, err
+	}
+	if err := mgr.Bind("c3", d1, alt.Snapshot()); err != nil {
+		return nil, err
+	}
+	s.Adaptation = mgr
+
+	// The §3.2 oracle doubles as the truth source for the environment
+	// fault-class assumption, if declared.
+	if hasVariable(reg, "env.fault-class") {
+		if err := reg.AttachTruth("env.fault-class", func() (string, error) {
+			if mgr.Verdict("c3") == alphacount.PermanentVerdict {
+				return "e2", nil
+			}
+			return "e1", nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// §3.3: autonomic redundancy layer.
+	farm, err := voting.NewFarm(cfg.Policy.Min, func(v uint64) uint64 { return v })
+	if err != nil {
+		return nil, err
+	}
+	sb, err := redundancy.NewSwitchboard(farm, cfg.Policy, []byte("holistic"))
+	if err != nil {
+		return nil, err
+	}
+	s.Switchboard = sb
+	if hasVariable(reg, "replication.degree") {
+		if err := reg.AttachTruth("replication.degree", func() (string, error) {
+			return fmt.Sprintf("r=%d", farm.N()), nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// The executive and the agent web close the loop.
+	exec, err := core.NewExecutive(reg, s.Bus, cfg.VerifyEvery, core.WithExecRecorder(s.Trace))
+	if err != nil {
+		return nil, err
+	}
+	s.Executive = exec
+	s.Agents = agents.NewWeb(s.Bus)
+	bridge, err := agents.NewBridge(s.Agents, agents.ModelConcern)
+	if err != nil {
+		return nil, err
+	}
+	reg.OnClash(bridge.OnClash)
+
+	return s, nil
+}
+
+// Start schedules the executive on the system clock.
+func (s *System) Start() {
+	s.Executive.Start(s.Clock)
+}
+
+// Stop halts the executive.
+func (s *System) Stop() {
+	s.Executive.Stop()
+}
+
+func hasVariable(reg *core.Registry, name string) bool {
+	_, err := reg.Get(name)
+	return err == nil
+}
+
+// DefaultManifest returns a manifest declaring the three strategy
+// assumptions the System wires truth sources for.
+func DefaultManifest() *manifest.Manifest {
+	return &manifest.Manifest{
+		System:      "holistic-demo",
+		Description: "all three strategies of the paper under one executive",
+		Variables: []manifest.VariableSpec{
+			{
+				Name:     "memory.failure-semantics",
+				Doc:      "fault classes of the target memory modules (§3.1)",
+				Syndrome: "hidden-intelligence",
+				BindAt:   "compile",
+				Alternatives: []manifest.AltSpec{
+					{ID: "f0"}, {ID: "f1"}, {ID: "f2"}, {ID: "f3"}, {ID: "f4"},
+				},
+			},
+			{
+				Name:     "env.fault-class",
+				Doc:      "expected fault class of the physical environment (§3.2)",
+				Syndrome: "horning",
+				BindAt:   "run",
+				Alternatives: []manifest.AltSpec{
+					{ID: "e1", Description: "transient faults"},
+					{ID: "e2", Description: "permanent faults"},
+				},
+				AutoRebind: true,
+				Binding:    &manifest.BindSpec{Alternative: "e1", Stage: "run"},
+			},
+			{
+				Name:     "replication.degree",
+				Doc:      "degree of employed redundancy a(r) (§3.3, Fig. 7)",
+				Syndrome: "boulding",
+				BindAt:   "run",
+				Alternatives: []manifest.AltSpec{
+					{ID: "r=3"}, {ID: "r=5"}, {ID: "r=7"}, {ID: "r=9"},
+				},
+				AutoRebind: true,
+				Binding:    &manifest.BindSpec{Alternative: "r=3", Stage: "run"},
+			},
+		},
+		Traits: manifest.TraitsSpec{
+			Dynamic: true, MaintainsSetpoint: true,
+			RevisesStructure: true, DividesLabour: true,
+		},
+		RequiredCategory: "Cell",
+	}
+}

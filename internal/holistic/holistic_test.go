@@ -1,0 +1,194 @@
+package holistic
+
+import (
+	"testing"
+
+	"aft/internal/agents"
+	"aft/internal/alphacount"
+	"aft/internal/memsim"
+	"aft/internal/pubsub"
+	"aft/internal/redundancy"
+	"aft/internal/simclock"
+	"aft/internal/spd"
+	"aft/internal/xrand"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	rng := xrand.New(5)
+	devs := make([]*memsim.Device, 3)
+	for i := range devs {
+		d, err := memsim.New(memsim.StableConfig("dev", 64), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+	}
+	return Config{
+		Manifest: DefaultManifest(),
+		Module: spd.Record{
+			Vendor: "CE00000000000000",
+			Model:  "DIMM DDR Synchronous 533 MHz (1.9 ns)",
+			Lot:    "F504F679", Technology: "SDRAM",
+		},
+		Devices:     devs,
+		Alpha:       alphacount.Config{K: 0.5, Threshold: 3, LowerThreshold: 1},
+		Policy:      redundancy.Policy{Min: 3, Max: 9, CriticalDTOF: 1, Step: 2, LowerAfter: 10},
+		VerifyEvery: 10,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Manifest = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("nil manifest accepted")
+	}
+	cfg = testConfig(t)
+	cfg.VerifyEvery = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero verify period accepted")
+	}
+	cfg = testConfig(t)
+	cfg.Devices = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("missing devices accepted")
+	}
+}
+
+func TestAssembly(t *testing.T) {
+	s, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.1 layer selected M4 for the hot lot and recorded the
+	// assumption in the registry.
+	if s.Memory.Name() != "M4-fullsee" {
+		t.Fatalf("memory method = %s", s.Memory.Name())
+	}
+	v, err := s.Registry.Get("memory.failure-semantics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound, _ := v.Bound(); bound != "f4" {
+		t.Fatalf("memory assumption bound to %q", bound)
+	}
+	// Every declared variable is bound and verifiable: the audit is
+	// clean — the holistic system hides no intelligence.
+	if findings := s.Registry.Audit(); len(findings) != 0 {
+		t.Fatalf("audit findings: %v", findings)
+	}
+}
+
+// TestCrossLayerScenario drives the §5 story end to end: a permanent
+// fault detected by the §3.2 oracle flips the architecture, the
+// executive catches the resulting assumption clash, the agent web turns
+// it into a model-level adaptation request, and the §3.3 layer's
+// redundancy revisions are reflected in the registry through their own
+// assumption variable.
+func TestCrossLayerScenario(t *testing.T) {
+	s, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var modelRequests []agents.AdaptationRequest
+	if err := s.Agents.Attach(&agents.ReactiveAgent{
+		AgentName: "modeler", AgentConcern: agents.ModelConcern,
+		Adapt: func(r agents.AdaptationRequest) ([]agents.Knowledge, []agents.AdaptationRequest) {
+			modelRequests = append(modelRequests, r)
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Start()
+
+	// A permanent fault in c3 from t=20: fault notifications every 5
+	// ticks.
+	s.Clock.At(20, func(sc *simclock.Scheduler) {
+		sc.Every(5, func(sc2 *simclock.Scheduler) bool {
+			s.Bus.Publish(pubsub.Message{
+				Topic: "faults/c3", Time: int64(sc2.Now()), Payload: true,
+			})
+			return sc2.Now() < 60
+		})
+	})
+	// Meanwhile the §3.3 layer handles a disturbed voting workload: one
+	// corrupted replica per round from t=30 to t=50.
+	rng := xrand.New(99)
+	s.Clock.Every(2, func(sc *simclock.Scheduler) bool {
+		var corrupted func(int) bool
+		if sc.Now() >= 30 && sc.Now() <= 50 {
+			corrupted = func(i int) bool { return i == 0 }
+		}
+		s.Switchboard.Step(uint64(sc.Now()), corrupted, rng)
+		return sc.Now() < 200
+	})
+	s.Clock.At(200, func(*simclock.Scheduler) { s.Stop() })
+	s.Clock.Run(250)
+
+	// §3.2: the architecture is adapted (D2 during the fault storm; the
+	// alpha decays afterwards and D1 returns).
+	if s.Adaptation.Swaps() < 1 {
+		t.Fatal("architecture never adapted")
+	}
+	// The executive caught the env.fault-class clash and the auto-rebind
+	// healed it.
+	clashes := s.Registry.Clashes()
+	var sawEnvClash bool
+	for _, c := range clashes {
+		if c.Variable == "env.fault-class" && c.Truth == "e2" {
+			sawEnvClash = true
+			if !c.Rebound {
+				t.Fatal("env.fault-class clash not rebound")
+			}
+		}
+	}
+	if !sawEnvClash {
+		t.Fatalf("no env.fault-class clash detected; clashes: %v", clashes)
+	}
+	// §3.3: the redundancy revision surfaced as a replication.degree
+	// clash (r=3 -> r=5) and was rebound.
+	var sawReplicationClash bool
+	for _, c := range clashes {
+		if c.Variable == "replication.degree" && c.Truth == "r=5" {
+			sawReplicationClash = true
+		}
+	}
+	if !sawReplicationClash {
+		t.Fatalf("no replication.degree clash detected; clashes: %v", clashes)
+	}
+	// §5: the model layer was asked to adapt at least once per clash
+	// family.
+	if len(modelRequests) < 2 {
+		t.Fatalf("model agent received %d requests, want >= 2", len(modelRequests))
+	}
+	// The shared knowledge base holds the facts that crossed layers.
+	if _, ok := s.Agents.Lookup("clash/env.fault-class"); !ok {
+		t.Fatal("env clash not in the shared KB")
+	}
+	if _, ok := s.Agents.Lookup("clash/replication.degree"); !ok {
+		t.Fatal("replication clash not in the shared KB")
+	}
+	// And nothing was lost: the trace recorded swaps and clashes.
+	if len(s.Trace.Filter("swap")) == 0 || len(s.Trace.Filter("clash")) == 0 {
+		t.Fatalf("trace incomplete:\n%s", s.Trace.Transcript())
+	}
+	// No voting failures despite the disturbance.
+	_, failures := s.Switchboard.Farm().Stats()
+	if failures != 0 {
+		t.Fatalf("voting failures: %d", failures)
+	}
+}
+
+func TestDefaultManifestAudits(t *testing.T) {
+	rep, err := DefaultManifest().Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BouldingClash {
+		t.Fatal("the holistic system must meet its Cell requirement")
+	}
+}

@@ -1,0 +1,23 @@
+package introspect_test
+
+import (
+	"fmt"
+
+	"aft/internal/introspect"
+)
+
+// ExampleScanSource finds the Ariane-shaped defect in a source snippet.
+func ExampleScanSource() {
+	const src = `package irs
+
+func ConvertBH(horizontal int64) int16 {
+	return int16(horizontal)
+}
+`
+	findings, _ := introspect.ScanSource("irs.go", src)
+	for _, f := range findings {
+		fmt.Printf("%s:%d %s\n", f.File, f.Line, f.Category)
+	}
+	// Output:
+	// irs.go:4 narrowing-conversion
+}

@@ -1,0 +1,25 @@
+package introspect
+
+import "testing"
+
+// FuzzScanSource checks the scanner never panics on arbitrary input and
+// that findings always carry positive line numbers on accepted files.
+func FuzzScanSource(f *testing.F) {
+	f.Add("package p\nfunc f(v int64) int16 { return int16(v) }\n")
+	f.Add("package p\n// assumes nothing\n")
+	f.Add("not go")
+	f.Fuzz(func(t *testing.T, src string) {
+		findings, err := ScanSource("fuzz.go", src)
+		if err != nil {
+			return
+		}
+		for _, finding := range findings {
+			if finding.Line <= 0 {
+				t.Fatalf("finding with non-positive line: %+v", finding)
+			}
+			if finding.Detail == "" || finding.Suggestion == "" {
+				t.Fatalf("finding missing text: %+v", finding)
+			}
+		}
+	})
+}

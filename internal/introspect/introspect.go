@@ -1,0 +1,244 @@
+// Package introspect scans Go source code for hidden assumptions, in
+// the spirit of the introspection tool-chain the paper's §4 surveys
+// (Introspector, GASTA, XOGASTAN): "introspection is a means that, when
+// applied correctly, can help crack the code of a software and intercept
+// the hidden and encapsulated meaning of the internals of a program".
+// GASTA annotated C abstract syntax trees to find null-pointer design
+// faults; this package walks Go abstract syntax trees to find the
+// syntactic shadows that hardwired assumptions cast:
+//
+//   - narrowing integer conversions — the exact shape of the Ariane 501
+//     defect (int16 of a value whose range is an environmental
+//     assumption);
+//   - comparisons against large magic numbers — dimensioning and range
+//     assumptions frozen as literals;
+//   - assumption-bearing comments ("assumes", "must be", "should never",
+//     TODO/XXX/FIXME) — intelligence about to be hidden;
+//   - single-form type assertions — "the dynamic type will be T", an
+//     assumption that panics instead of clashing gracefully;
+//   - environment lookups (os.Getenv) — deploy-time assumptions read at
+//     run time with no declared alternative.
+//
+// Each finding suggests the assumption variable that would make the
+// hidden hypothesis explicit; cmd/aft-introspect prints them for a
+// source tree.
+package introspect
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Category classifies a finding.
+type Category int
+
+// Finding categories.
+const (
+	// NarrowingConversion is a conversion to a smaller integer type.
+	NarrowingConversion Category = iota + 1
+	// MagicThreshold is a comparison against a large integer literal.
+	MagicThreshold
+	// AssumptionComment is a comment that states an assumption.
+	AssumptionComment
+	// UncheckedAssertion is a type assertion without the comma-ok form.
+	UncheckedAssertion
+	// EnvironmentLookup is an os.Getenv-style deploy-time dependency.
+	EnvironmentLookup
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	switch c {
+	case NarrowingConversion:
+		return "narrowing-conversion"
+	case MagicThreshold:
+		return "magic-threshold"
+	case AssumptionComment:
+		return "assumption-comment"
+	case UncheckedAssertion:
+		return "unchecked-assertion"
+	case EnvironmentLookup:
+		return "environment-lookup"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Finding is one hidden assumption candidate.
+type Finding struct {
+	// File and Line locate the finding.
+	File string
+	Line int
+	// Category classifies it.
+	Category Category
+	// Detail describes what was seen.
+	Detail string
+	// Suggestion is the explicit-assumption remedy.
+	Suggestion string
+}
+
+// String renders the finding on one line.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s — %s", f.File, f.Line, f.Category, f.Detail, f.Suggestion)
+}
+
+// narrowTypes are the conversion targets that discard range.
+var narrowTypes = map[string]int{
+	"int8": 8, "int16": 16, "int32": 32,
+	"uint8": 8, "uint16": 16, "uint32": 32, "byte": 8,
+}
+
+// assumptionMarkers flag comments that state hypotheses.
+var assumptionMarkers = []string{
+	"assume", "assumption", "must be", "should never", "cannot happen",
+	"always fits", "todo", "fixme", "xxx", "never exceeds",
+}
+
+// MagicFloor is the smallest integer literal a comparison must involve
+// to be flagged as a dimensioning assumption.
+const MagicFloor = 1024
+
+// ScanSource scans one file's source text.
+func ScanSource(filename, src string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("introspect: parse %s: %w", filename, err)
+	}
+	var out []Finding
+	add := func(pos token.Pos, cat Category, detail, suggestion string) {
+		p := fset.Position(pos)
+		out = append(out, Finding{
+			File: p.Filename, Line: p.Line,
+			Category: cat, Detail: detail, Suggestion: suggestion,
+		})
+	}
+
+	// Comments.
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			lower := strings.ToLower(c.Text)
+			for _, marker := range assumptionMarkers {
+				if strings.Contains(lower, marker) {
+					add(c.Pos(), AssumptionComment,
+						fmt.Sprintf("comment contains %q", marker),
+						"turn the stated hypothesis into a declared assumption variable with a truth source")
+					break
+				}
+			}
+		}
+	}
+
+	// Expression-level findings need parent tracking for the comma-ok
+	// discrimination.
+	commaOK := map[*ast.TypeAssertExpr]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			if len(node.Lhs) == 2 && len(node.Rhs) == 1 {
+				if ta, ok := node.Rhs[0].(*ast.TypeAssertExpr); ok {
+					commaOK[ta] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(node.Names) == 2 && len(node.Values) == 1 {
+				if ta, ok := node.Values[0].(*ast.TypeAssertExpr); ok {
+					commaOK[ta] = true
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			// A type switch is a checked assertion; mark its guard.
+			if assign, ok := node.Assign.(*ast.AssignStmt); ok && len(assign.Rhs) == 1 {
+				if ta, ok := assign.Rhs[0].(*ast.TypeAssertExpr); ok {
+					commaOK[ta] = true
+				}
+			}
+			if expr, ok := node.Assign.(*ast.ExprStmt); ok {
+				if ta, ok := expr.X.(*ast.TypeAssertExpr); ok {
+					commaOK[ta] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			// Narrowing conversions: a call whose Fun is a narrow
+			// integer type identifier with exactly one argument.
+			if ident, ok := node.Fun.(*ast.Ident); ok {
+				if bits, narrow := narrowTypes[ident.Name]; narrow && len(node.Args) == 1 {
+					add(node.Pos(), NarrowingConversion,
+						fmt.Sprintf("conversion to %s (%d bits) discards range", ident.Name, bits),
+						"declare the operand's range as an assumption variable and guard the conversion with a contract (the Ariane 501 defect was exactly this shape)")
+				}
+			}
+			// Environment lookups.
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+				if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "os" &&
+					(sel.Sel.Name == "Getenv" || sel.Sel.Name == "LookupEnv") {
+					add(node.Pos(), EnvironmentLookup,
+						"os."+sel.Sel.Name+" reads deploy-time state",
+						"record the expected values as a deploy-time assumption with declared alternatives")
+				}
+			}
+		case *ast.BinaryExpr:
+			switch node.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				for _, side := range []ast.Expr{node.X, node.Y} {
+					if lit, ok := side.(*ast.BasicLit); ok && lit.Kind == token.INT {
+						if v, err := strconv.ParseUint(strings.ReplaceAll(lit.Value, "_", ""), 0, 64); err == nil && v >= MagicFloor {
+							add(node.Pos(), MagicThreshold,
+								fmt.Sprintf("comparison against literal %s", lit.Value),
+								"name the bound: a dimensioning assumption frozen as a literal cannot be inspected, verified, or revised")
+						}
+					}
+				}
+			}
+		case *ast.TypeAssertExpr:
+			if node.Type != nil && !commaOK[node] {
+				add(node.Pos(), UncheckedAssertion,
+					"single-form type assertion panics on mismatch",
+					"use the comma-ok form and treat a mismatch as an assumption clash")
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out, nil
+}
+
+// ScanFiles scans several files (name → source) and merges the
+// findings, sorted by file and line.
+func ScanFiles(files map[string]string) ([]Finding, error) {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Finding
+	for _, name := range names {
+		fs, err := ScanSource(name, files[name])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	return out, nil
+}
+
+// Summary counts findings per category.
+func Summary(findings []Finding) map[Category]int {
+	out := make(map[Category]int)
+	for _, f := range findings {
+		out[f.Category]++
+	}
+	return out
+}

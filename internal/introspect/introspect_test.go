@@ -1,0 +1,259 @@
+package introspect
+
+import (
+	"strings"
+	"testing"
+)
+
+func scan(t *testing.T, src string) []Finding {
+	t.Helper()
+	fs, err := ScanSource("test.go", "package p\n"+src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func only(t *testing.T, fs []Finding, cat Category) []Finding {
+	t.Helper()
+	var out []Finding
+	for _, f := range fs {
+		if f.Category == cat {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestNarrowingConversionFlagged(t *testing.T) {
+	fs := scan(t, `
+func f(v int64) int16 {
+	return int16(v) // the Ariane shape
+}
+`)
+	narrow := only(t, fs, NarrowingConversion)
+	if len(narrow) != 1 {
+		t.Fatalf("narrowing findings = %v", fs)
+	}
+	if !strings.Contains(narrow[0].Detail, "int16") {
+		t.Fatalf("detail = %q", narrow[0].Detail)
+	}
+	if !strings.Contains(narrow[0].Suggestion, "Ariane") {
+		t.Fatalf("suggestion = %q", narrow[0].Suggestion)
+	}
+}
+
+func TestWideningNotFlagged(t *testing.T) {
+	fs := scan(t, `
+func f(v int16) int64 {
+	return int64(v)
+}
+`)
+	if len(only(t, fs, NarrowingConversion)) != 0 {
+		t.Fatalf("widening flagged: %v", fs)
+	}
+}
+
+func TestAllNarrowTypes(t *testing.T) {
+	fs := scan(t, `
+func f(v uint64) {
+	_ = int8(v)
+	_ = uint8(v)
+	_ = byte(v)
+	_ = int32(v)
+	_ = uint16(v)
+}
+`)
+	if got := len(only(t, fs, NarrowingConversion)); got != 5 {
+		t.Fatalf("found %d narrowings, want 5", got)
+	}
+}
+
+func TestMagicThresholdFlagged(t *testing.T) {
+	fs := scan(t, `
+func f(v int) bool {
+	if v > 32767 {
+		return false
+	}
+	return v < 100 // small literals are fine
+}
+`)
+	magic := only(t, fs, MagicThreshold)
+	if len(magic) != 1 {
+		t.Fatalf("magic findings = %v", fs)
+	}
+	if !strings.Contains(magic[0].Detail, "32767") {
+		t.Fatalf("detail = %q", magic[0].Detail)
+	}
+}
+
+func TestMagicThresholdUnderscoreLiterals(t *testing.T) {
+	fs := scan(t, `
+func f(v int) bool { return v >= 65_536 }
+`)
+	if len(only(t, fs, MagicThreshold)) != 1 {
+		t.Fatalf("underscore literal missed: %v", fs)
+	}
+}
+
+func TestAssumptionComments(t *testing.T) {
+	fs := scan(t, `
+// This function assumes the buffer never exceeds one page.
+func f() {}
+
+// A perfectly neutral comment.
+func g() {}
+`)
+	comments := only(t, fs, AssumptionComment)
+	if len(comments) != 1 {
+		t.Fatalf("comment findings = %v", fs)
+	}
+}
+
+func TestUncheckedAssertionFlagged(t *testing.T) {
+	fs := scan(t, `
+func f(x any) string {
+	return x.(string)
+}
+`)
+	if len(only(t, fs, UncheckedAssertion)) != 1 {
+		t.Fatalf("assertion findings = %v", fs)
+	}
+}
+
+func TestCommaOkAssertionNotFlagged(t *testing.T) {
+	fs := scan(t, `
+func f(x any) string {
+	s, ok := x.(string)
+	if !ok {
+		return ""
+	}
+	return s
+}
+`)
+	if len(only(t, fs, UncheckedAssertion)) != 0 {
+		t.Fatalf("comma-ok flagged: %v", fs)
+	}
+}
+
+func TestTypeSwitchNotFlagged(t *testing.T) {
+	fs := scan(t, `
+func f(x any) int {
+	switch v := x.(type) {
+	case int:
+		return v
+	default:
+		return 0
+	}
+}
+`)
+	if len(only(t, fs, UncheckedAssertion)) != 0 {
+		t.Fatalf("type switch flagged: %v", fs)
+	}
+}
+
+func TestEnvironmentLookup(t *testing.T) {
+	fs := scan(t, `
+import "os"
+
+func f() string {
+	v, _ := os.LookupEnv("MODE")
+	return os.Getenv("HOME") + v
+}
+`)
+	if got := len(only(t, fs, EnvironmentLookup)); got != 2 {
+		t.Fatalf("env findings = %d: %v", got, fs)
+	}
+}
+
+func TestParseErrorSurfaces(t *testing.T) {
+	if _, err := ScanSource("bad.go", "not go at all"); err == nil {
+		t.Fatal("parse error swallowed")
+	}
+}
+
+func TestScanFilesMergesSorted(t *testing.T) {
+	fs, err := ScanFiles(map[string]string{
+		"b.go": "package p\nfunc f(v int64) int8 { return int8(v) }\n",
+		"a.go": "package p\nfunc g(v int64) int16 { return int16(v) }\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v", fs)
+	}
+	if fs[0].File != "a.go" || fs[1].File != "b.go" {
+		t.Fatalf("not sorted by file: %v", fs)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	fs := scan(t, `
+func f(v int64, x any) {
+	_ = int16(v)
+	_ = int8(v)
+	_ = x.(string)
+}
+`)
+	sum := Summary(fs)
+	if sum[NarrowingConversion] != 2 || sum[UncheckedAssertion] != 1 {
+		t.Fatalf("summary = %v", sum)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "x.go", Line: 3, Category: MagicThreshold,
+		Detail: "d", Suggestion: "s"}
+	if got := f.String(); got != "x.go:3: [magic-threshold] d — s" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	names := map[Category]string{
+		NarrowingConversion: "narrowing-conversion",
+		MagicThreshold:      "magic-threshold",
+		AssumptionComment:   "assumption-comment",
+		UncheckedAssertion:  "unchecked-assertion",
+		EnvironmentLookup:   "environment-lookup",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("category %d = %q", int(c), c.String())
+		}
+	}
+	if Category(42).String() != "Category(42)" {
+		t.Fatal("unknown category name")
+	}
+}
+
+// TestArianeFixture scans a miniature IRS module and finds the fatal
+// conversion plus the envelope comment.
+func TestArianeFixture(t *testing.T) {
+	const irs = `package irs
+
+// The horizontal velocity always fits in a signed 16-bit integer
+// (validated for the current launcher generation).
+func ConvertBH(horizontal int64) int16 {
+	if horizontal > 32767 {
+		// operand error path intentionally absent
+	}
+	return int16(horizontal)
+}
+`
+	fs, err := ScanSource("irs.go", irs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summary(fs)
+	if sum[NarrowingConversion] != 1 {
+		t.Fatalf("narrowing = %d", sum[NarrowingConversion])
+	}
+	if sum[MagicThreshold] != 1 {
+		t.Fatalf("threshold = %d", sum[MagicThreshold])
+	}
+	if sum[AssumptionComment] != 1 {
+		t.Fatalf("comment = %d; findings %v", sum[AssumptionComment], fs)
+	}
+}

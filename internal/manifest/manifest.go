@@ -1,0 +1,291 @@
+// Package manifest implements assumption-carrying deployment
+// descriptors. The paper's §4 discusses the XML deployment descriptors
+// of J2EE/CORBA middleware and their "semantic gap"; its §5 asks for
+// "mechanisms for propagating such knowledge through all stages of
+// software development". A Manifest is that mechanism for this library:
+// a JSON document that travels with a deployable unit and declares its
+// assumption variables — names, provenance, alternatives, bind stages,
+// bindings — plus the Boulding category its environment requires.
+//
+// Loading a manifest materializes a core.Registry, so the knowledge
+// written down at design time is exactly the knowledge verified at run
+// time: nothing is sifted off between stages.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"aft/internal/core"
+)
+
+// VariableSpec is the serialized form of one assumption variable.
+type VariableSpec struct {
+	Name         string    `json:"name"`
+	Doc          string    `json:"doc"`
+	Syndrome     string    `json:"syndrome"` // "horning", "hidden-intelligence", "boulding"
+	BindAt       string    `json:"bindAt"`   // "design", "compile", "deploy", "run"
+	Alternatives []AltSpec `json:"alternatives"`
+	AutoRebind   bool      `json:"autoRebind,omitempty"`
+	Binding      *BindSpec `json:"binding,omitempty"`
+}
+
+// AltSpec is one serialized alternative.
+type AltSpec struct {
+	ID          string `json:"id"`
+	Description string `json:"description,omitempty"`
+}
+
+// BindSpec records a binding made at or before packaging.
+type BindSpec struct {
+	Alternative string `json:"alternative"`
+	Stage       string `json:"stage"`
+}
+
+// TraitsSpec serializes the Boulding traits claimed by the system.
+type TraitsSpec struct {
+	Dynamic           bool `json:"dynamic,omitempty"`
+	MaintainsSetpoint bool `json:"maintainsSetpoint,omitempty"`
+	RevisesStructure  bool `json:"revisesStructure,omitempty"`
+	DividesLabour     bool `json:"dividesLabour,omitempty"`
+	ModelsItself      bool `json:"modelsItself,omitempty"`
+}
+
+// Manifest is the deployment descriptor.
+type Manifest struct {
+	// System names the deployable unit.
+	System string `json:"system"`
+	// Description is free-form provenance.
+	Description string `json:"description,omitempty"`
+	// Variables are the declared assumption variables.
+	Variables []VariableSpec `json:"variables"`
+	// Traits describe the system's adaptivity.
+	Traits TraitsSpec `json:"traits"`
+	// RequiredCategory is the Boulding category the target environment
+	// demands ("Thermostat", "Cell", ...). Empty means unconstrained.
+	RequiredCategory string `json:"requiredCategory,omitempty"`
+}
+
+var (
+	syndromes = map[string]core.Syndrome{
+		"horning":             core.Horning,
+		"hidden-intelligence": core.HiddenIntelligence,
+		"boulding":            core.Boulding,
+	}
+	stages = map[string]core.BindTime{
+		"design":  core.DesignTime,
+		"compile": core.CompileTime,
+		"deploy":  core.DeployTime,
+		"run":     core.RunTime,
+	}
+	categories = map[string]core.BouldingCategory{
+		"Framework":  core.Framework,
+		"Clockwork":  core.Clockwork,
+		"Thermostat": core.Thermostat,
+		"Cell":       core.Cell,
+		"Plant":      core.Plant,
+		"Being":      core.Being,
+	}
+)
+
+// Parse decodes and validates a JSON manifest.
+func Parse(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest: parse: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks the manifest's internal consistency.
+func (m *Manifest) Validate() error {
+	if m.System == "" {
+		return fmt.Errorf("manifest: system name required")
+	}
+	if len(m.Variables) == 0 {
+		return fmt.Errorf("manifest: %q declares no assumption variables", m.System)
+	}
+	for _, v := range m.Variables {
+		if _, ok := syndromes[v.Syndrome]; !ok {
+			return fmt.Errorf("manifest: variable %q: unknown syndrome %q", v.Name, v.Syndrome)
+		}
+		if _, ok := stages[v.BindAt]; !ok {
+			return fmt.Errorf("manifest: variable %q: unknown bind stage %q", v.Name, v.BindAt)
+		}
+		if v.Binding != nil {
+			if _, ok := stages[v.Binding.Stage]; !ok {
+				return fmt.Errorf("manifest: variable %q: unknown binding stage %q", v.Name, v.Binding.Stage)
+			}
+		}
+	}
+	if m.RequiredCategory != "" {
+		if _, ok := categories[m.RequiredCategory]; !ok {
+			return fmt.Errorf("manifest: unknown required category %q", m.RequiredCategory)
+		}
+	}
+	return nil
+}
+
+// Encode renders the manifest as indented JSON.
+func (m *Manifest) Encode() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// Materialize builds a registry from the manifest, declaring every
+// variable and applying recorded bindings.
+func (m *Manifest) Materialize() (*core.Registry, error) {
+	reg := core.NewRegistry()
+	for _, vs := range m.Variables {
+		alts := make([]core.Alternative, len(vs.Alternatives))
+		for i, a := range vs.Alternatives {
+			alts[i] = core.Alternative{ID: a.ID, Description: a.Description}
+		}
+		v := core.Variable{
+			Name:         vs.Name,
+			Doc:          vs.Doc,
+			Syndrome:     syndromes[vs.Syndrome],
+			BindAt:       stages[vs.BindAt],
+			Alternatives: alts,
+			AutoRebind:   vs.AutoRebind,
+		}
+		if err := reg.Declare(v); err != nil {
+			return nil, err
+		}
+		if vs.Binding != nil {
+			if err := reg.Bind(vs.Name, vs.Binding.Alternative, stages[vs.Binding.Stage]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return reg, nil
+}
+
+// Report is the outcome of an Audit.
+type Report struct {
+	// System echoes the manifest.
+	System string
+	// Category is the system's classified Boulding category.
+	Category core.BouldingCategory
+	// RequiredCategory is the demanded category, Framework when
+	// unconstrained.
+	RequiredCategory core.BouldingCategory
+	// BouldingClash reports a category shortfall — the Boulding
+	// syndrome at packaging time.
+	BouldingClash bool
+	// Findings are the registry hygiene gaps.
+	Findings []core.AuditFinding
+}
+
+// Audit materializes the manifest and checks it for the syndromes
+// detectable without running: undocumented/unbound variables and a
+// Boulding category shortfall.
+func (m *Manifest) Audit() (Report, error) {
+	reg, err := m.Materialize()
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		System: m.System,
+		Category: core.Classify(core.Traits{
+			Dynamic:           m.Traits.Dynamic,
+			MaintainsSetpoint: m.Traits.MaintainsSetpoint,
+			RevisesStructure:  m.Traits.RevisesStructure,
+			DividesLabour:     m.Traits.DividesLabour,
+			ModelsItself:      m.Traits.ModelsItself,
+		}),
+		Findings: reg.Audit(),
+	}
+	if m.RequiredCategory != "" {
+		rep.RequiredCategory = categories[m.RequiredCategory]
+		rep.BouldingClash = core.BouldingClash(rep.Category, rep.RequiredCategory)
+	} else {
+		rep.RequiredCategory = core.Framework
+	}
+	return rep, nil
+}
+
+// StaleBinding is one binding invalidated by a new environment.
+type StaleBinding struct {
+	// Variable is the assumption variable's name.
+	Variable string
+	// Bound is the packaged binding.
+	Bound string
+	// Observed is the new environment's fact.
+	Observed string
+	// Declared reports whether the observed fact is among the declared
+	// alternatives (if not, even rebinding cannot absorb the move).
+	Declared bool
+}
+
+// Requalify performs the §4 re-qualification activity "prescribed each
+// time a system is relocated (e.g. reused, or ported)": it matches every
+// recorded binding against the facts of the destination environment and
+// returns the bindings that no longer hold. environment maps variable
+// names to observed hypothesis IDs; variables absent from the map are
+// skipped (unknown facts cannot invalidate, only verification at run
+// time can).
+func (m *Manifest) Requalify(environment map[string]string) []StaleBinding {
+	var out []StaleBinding
+	for _, v := range m.Variables {
+		if v.Binding == nil {
+			continue
+		}
+		observed, ok := environment[v.Name]
+		if !ok || observed == v.Binding.Alternative {
+			continue
+		}
+		declared := false
+		for _, a := range v.Alternatives {
+			if a.ID == observed {
+				declared = true
+				break
+			}
+		}
+		out = append(out, StaleBinding{
+			Variable: v.Name,
+			Bound:    v.Binding.Alternative,
+			Observed: observed,
+			Declared: declared,
+		})
+	}
+	return out
+}
+
+// Example returns a complete sample manifest: the Ariane-flavoured
+// system used by cmd/aft-audit and the documentation.
+func Example() *Manifest {
+	return &Manifest{
+		System:      "irs-guidance",
+		Description: "inertial reference system guidance software, reused from the previous launcher generation",
+		Variables: []VariableSpec{
+			{
+				Name:     "flight.horizontal-velocity-range",
+				Doc:      "horizontal velocity representable as int16; inherited from the previous flight envelope",
+				Syndrome: "horning",
+				BindAt:   "deploy",
+				Alternatives: []AltSpec{
+					{ID: "int16", Description: "|v_h| < 32768"},
+					{ID: "int64", Description: "wide envelope"},
+				},
+				AutoRebind: true,
+				Binding:    &BindSpec{Alternative: "int16", Stage: "deploy"},
+			},
+			{
+				Name:     "memory.failure-semantics",
+				Doc:      "fault classes of the on-board memory; drives the §3.1 access-method selection",
+				Syndrome: "hidden-intelligence",
+				BindAt:   "compile",
+				Alternatives: []AltSpec{
+					{ID: "f1", Description: "CMOS-like transients"},
+					{ID: "f3", Description: "SDRAM with SEL"},
+					{ID: "f4", Description: "full single-event effects"},
+				},
+			},
+		},
+		Traits:           TraitsSpec{Dynamic: true, MaintainsSetpoint: true},
+		RequiredCategory: "Cell",
+	}
+}

@@ -1,0 +1,182 @@
+package manifest
+
+import (
+	"strings"
+	"testing"
+
+	"aft/internal/core"
+)
+
+func TestExampleValidatesAndRoundTrips(t *testing.T) {
+	m := Example()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.System != m.System || len(got.Variables) != len(m.Variables) {
+		t.Fatalf("round trip lost content: %+v", got)
+	}
+	if got.Variables[0].Binding == nil || got.Variables[0].Binding.Alternative != "int16" {
+		t.Fatal("binding lost in round trip")
+	}
+}
+
+func TestParseRejectsBadManifests(t *testing.T) {
+	bad := []string{
+		`{broken`,
+		`{"system":"", "variables":[{"name":"x","doc":"d","syndrome":"horning","bindAt":"run","alternatives":[{"id":"a"}]}]}`,
+		`{"system":"s", "variables":[]}`,
+		`{"system":"s", "variables":[{"name":"x","doc":"d","syndrome":"weird","bindAt":"run","alternatives":[{"id":"a"}]}]}`,
+		`{"system":"s", "variables":[{"name":"x","doc":"d","syndrome":"horning","bindAt":"sometime","alternatives":[{"id":"a"}]}]}`,
+		`{"system":"s", "requiredCategory":"Galaxy", "variables":[{"name":"x","doc":"d","syndrome":"horning","bindAt":"run","alternatives":[{"id":"a"}]}]}`,
+		`{"system":"s", "variables":[{"name":"x","doc":"d","syndrome":"horning","bindAt":"run","alternatives":[{"id":"a"}],"binding":{"alternative":"a","stage":"sometime"}}]}`,
+	}
+	for i, src := range bad {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("bad manifest %d accepted", i)
+		}
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	reg, err := Example().Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := reg.Variables()
+	if len(names) != 2 {
+		t.Fatalf("variables = %v", names)
+	}
+	v, err := reg.Get("flight.horizontal-velocity-range")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound, ok := v.Bound(); !ok || bound != "int16" {
+		t.Fatalf("binding not applied: %q %v", bound, ok)
+	}
+	if v.Syndrome != core.Horning || v.BindAt != core.DeployTime || !v.AutoRebind {
+		t.Fatalf("variable lost attributes: %+v", v)
+	}
+	// The unbound variable stays unbound.
+	v2, err := reg.Get("memory.failure-semantics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v2.Bound(); ok {
+		t.Fatal("spurious binding")
+	}
+}
+
+func TestMaterializeRejectsPrematureBinding(t *testing.T) {
+	m := Example()
+	m.Variables[0].Binding = &BindSpec{Alternative: "int16", Stage: "design"}
+	if _, err := m.Materialize(); err == nil {
+		t.Fatal("premature binding accepted")
+	}
+}
+
+func TestMaterializeRejectsUndocumentedVariable(t *testing.T) {
+	m := Example()
+	m.Variables[0].Doc = ""
+	if _, err := m.Materialize(); err == nil {
+		t.Fatal("undocumented variable accepted (Hidden Intelligence)")
+	}
+}
+
+func TestAudit(t *testing.T) {
+	rep, err := Example().Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.System != "irs-guidance" {
+		t.Fatalf("system = %q", rep.System)
+	}
+	// The example claims Thermostat-level traits but requires Cell: a
+	// Boulding clash at packaging time.
+	if rep.Category != core.Thermostat {
+		t.Fatalf("category = %v", rep.Category)
+	}
+	if !rep.BouldingClash {
+		t.Fatal("Boulding shortfall not flagged")
+	}
+	// Findings: both variables lack truth sources; one is unbound.
+	if len(rep.Findings) != 3 {
+		t.Fatalf("findings = %v", rep.Findings)
+	}
+}
+
+func TestAuditWithoutRequirement(t *testing.T) {
+	m := Example()
+	m.RequiredCategory = ""
+	rep, err := m.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BouldingClash {
+		t.Fatal("unconstrained manifest clashed")
+	}
+}
+
+func TestAuditClearsWhenTraitsImprove(t *testing.T) {
+	m := Example()
+	m.Traits.RevisesStructure = true // the §3.3 upgrade
+	rep, err := m.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Category != core.Cell || rep.BouldingClash {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRequalify(t *testing.T) {
+	m := Example()
+	// Same environment: nothing stale.
+	if stale := m.Requalify(map[string]string{
+		"flight.horizontal-velocity-range": "int16",
+	}); len(stale) != 0 {
+		t.Fatalf("stale = %v", stale)
+	}
+	// The Ariane 5 port: the destination's envelope is int64.
+	stale := m.Requalify(map[string]string{
+		"flight.horizontal-velocity-range": "int64",
+	})
+	if len(stale) != 1 {
+		t.Fatalf("stale = %v", stale)
+	}
+	s := stale[0]
+	if s.Bound != "int16" || s.Observed != "int64" || !s.Declared {
+		t.Fatalf("stale binding = %+v", s)
+	}
+	// A fact outside the declared alternatives is flagged as such.
+	stale = m.Requalify(map[string]string{
+		"flight.horizontal-velocity-range": "float128",
+	})
+	if len(stale) != 1 || stale[0].Declared {
+		t.Fatalf("undeclared fact handling = %v", stale)
+	}
+	// Unknown facts and unbound variables never invalidate.
+	if stale := m.Requalify(map[string]string{
+		"memory.failure-semantics": "f4",
+		"some.other.variable":      "x",
+	}); len(stale) != 0 {
+		t.Fatalf("unbound variables invalidated: %v", stale)
+	}
+}
+
+func TestEncodeContainsProvenance(t *testing.T) {
+	data, err := Example().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "inherited from the previous flight envelope") {
+		t.Fatal("provenance missing from the wire format — that is the Hidden Intelligence syndrome")
+	}
+}

@@ -1,0 +1,703 @@
+// Package memaccess implements the diverse set of memory access methods
+// M0–M4 of the paper's §3.1.
+//
+// For each design-time hypothesis fi about the failure semantics of the
+// memory subsystem there is one method Mi, "a fault-tolerant version
+// specifically designed to tolerate the memory modules' failure modes
+// assumed in fi":
+//
+//	M0 — raw access; assumes stable memory (f0).
+//	M1 — SEC-DED scrubbing; tolerates transient bit flips (f1).
+//	M2 — M1 plus spare-slot remapping; adds stuck-at tolerance (f2).
+//	M3 — device-level TMR over ECC; adds SEL (latch-up) tolerance (f3).
+//	M4 — M3 plus power-reset recovery; adds SFI tolerance (f4).
+//
+// Each method declares the fault effects it tolerates and a resource
+// cost, which is exactly the information the §3.1 selection procedure
+// (package autoconf) needs: isolate the methods able to tolerate the
+// retrieved assumption, order by cost, pick the minimum.
+package memaccess
+
+import (
+	"errors"
+	"fmt"
+
+	"aft/internal/ecc"
+	"aft/internal/faults"
+	"aft/internal/memsim"
+)
+
+// Method is a fault-tolerant word store over simulated memory devices.
+type Method interface {
+	// Name identifies the method (M0–M4).
+	Name() string
+	// Tolerates lists the fault effects the method is designed to
+	// survive.
+	Tolerates() []faults.Effect
+	// Cost reports the method's resource expenditure.
+	Cost() Cost
+	// Size is the number of logical words the method exposes.
+	Size() int
+	// Read returns the logical word at addr, masking tolerated faults.
+	Read(addr int) (uint64, error)
+	// Write stores v at addr.
+	Write(addr int, v uint64) error
+}
+
+// Scrubber is implemented by methods with a patrol-scrub pass: a sweep
+// over all words that repairs latent correctable errors before they
+// accumulate into uncorrectable ones. Scrub returns the number of words
+// that could not be recovered.
+type Scrubber interface {
+	Scrub() int
+}
+
+// Cost models a method's resource expenditure, the paper's "cost
+// function (e.g. proportional to the expenditure of resources)".
+type Cost struct {
+	// SpacePerWord is raw device words consumed per logical word.
+	SpacePerWord float64
+	// TimePerOp is the relative per-operation overhead.
+	TimePerOp float64
+}
+
+// Total collapses the cost to one scalar for ordering.
+func (c Cost) Total() float64 { return c.SpacePerWord + c.TimePerOp }
+
+// Errors shared by the methods.
+var (
+	// ErrUnrecoverable reports corruption beyond the method's design
+	// fault model.
+	ErrUnrecoverable = errors.New("memaccess: data unrecoverable")
+	// ErrNoSpare reports spare-slot exhaustion in M2.
+	ErrNoSpare = errors.New("memaccess: spare slots exhausted")
+)
+
+func boundsCheck(addr, size int) error {
+	if addr < 0 || addr >= size {
+		return fmt.Errorf("memaccess: address %d out of range [0,%d)", addr, size)
+	}
+	return nil
+}
+
+// --- M0: raw access -------------------------------------------------
+
+// Raw is M0: direct device access with no fault tolerance, adequate only
+// under assumption f0.
+type Raw struct {
+	dev *memsim.Device
+}
+
+var _ Method = (*Raw)(nil)
+
+// NewRaw builds M0 over one device.
+func NewRaw(dev *memsim.Device) *Raw {
+	return &Raw{dev: dev}
+}
+
+// Name implements Method.
+func (*Raw) Name() string { return "M0-raw" }
+
+// Tolerates implements Method.
+func (*Raw) Tolerates() []faults.Effect { return nil }
+
+// Cost implements Method.
+func (*Raw) Cost() Cost { return Cost{SpacePerWord: 1, TimePerOp: 1} }
+
+// Size implements Method.
+func (m *Raw) Size() int { return m.dev.Size() }
+
+// Read implements Method.
+func (m *Raw) Read(addr int) (uint64, error) { return m.dev.Read(addr) }
+
+// Write implements Method.
+func (m *Raw) Write(addr int, v uint64) error { return m.dev.Write(addr, v) }
+
+// --- M1: SEC-DED scrubbing ------------------------------------------
+
+// Scrubbed is M1: every logical word is stored as a Hamming(72,64)
+// SEC-DED codeword in two physical words. Reads correct single-bit
+// errors and write the corrected codeword back (scrubbing), so transient
+// flips do not accumulate.
+type Scrubbed struct {
+	dev       *memsim.Device
+	corrected int64
+}
+
+var _ Method = (*Scrubbed)(nil)
+
+// NewScrubbed builds M1 over one device.
+func NewScrubbed(dev *memsim.Device) *Scrubbed {
+	return &Scrubbed{dev: dev}
+}
+
+// Name implements Method.
+func (*Scrubbed) Name() string { return "M1-scrub" }
+
+// Tolerates implements Method.
+func (*Scrubbed) Tolerates() []faults.Effect { return []faults.Effect{faults.BitFlip} }
+
+// Cost implements Method.
+func (*Scrubbed) Cost() Cost { return Cost{SpacePerWord: 2, TimePerOp: 2} }
+
+// Size implements Method.
+func (m *Scrubbed) Size() int { return m.dev.Size() / 2 }
+
+// Corrected reports how many single-bit errors the method has repaired.
+func (m *Scrubbed) Corrected() int64 { return m.corrected }
+
+// Read implements Method.
+func (m *Scrubbed) Read(addr int) (uint64, error) {
+	if err := boundsCheck(addr, m.Size()); err != nil {
+		return 0, err
+	}
+	return m.readAt(2 * addr)
+}
+
+// readAt reads and scrubs the codeword stored at physical address phys.
+func (m *Scrubbed) readAt(phys int) (uint64, error) {
+	lo, err := m.dev.Read(phys)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := m.dev.Read(phys + 1)
+	if err != nil {
+		return 0, err
+	}
+	cw := ecc.Codeword{Lo: lo, Hi: uint8(hi)}
+	data, status, err := ecc.Decode(cw)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrUnrecoverable, err)
+	}
+	if status == ecc.Corrected {
+		m.corrected++
+		if err := m.writeAt(phys, data); err != nil {
+			return 0, err
+		}
+	}
+	return data, nil
+}
+
+// Write implements Method.
+func (m *Scrubbed) Write(addr int, v uint64) error {
+	if err := boundsCheck(addr, m.Size()); err != nil {
+		return err
+	}
+	return m.writeAt(2*addr, v)
+}
+
+func (m *Scrubbed) writeAt(phys int, v uint64) error {
+	cw := ecc.Encode(v)
+	if err := m.dev.Write(phys, cw.Lo); err != nil {
+		return err
+	}
+	return m.dev.Write(phys+1, uint64(cw.Hi))
+}
+
+// Scrub performs one patrol pass over all words, repairing correctable
+// errors so they do not accumulate into double errors. It returns the
+// number of words that could not be recovered.
+func (m *Scrubbed) Scrub() int {
+	failed := 0
+	for addr := 0; addr < m.Size(); addr++ {
+		if _, err := m.Read(addr); err != nil {
+			failed++
+		}
+	}
+	return failed
+}
+
+// --- M2: scrubbing plus spare remapping ------------------------------
+
+// Remapped is M2: the Scrubbed layout plus verify-after-write and a
+// spare region. A write whose read-back disagrees with what was written
+// (a stuck bit) migrates the logical word to a spare slot.
+type Remapped struct {
+	dev       *memsim.Device
+	size      int
+	spares    int
+	nextSpare int
+	remap     map[int]int // logical addr -> physical codeword base
+	corrected int64
+	remaps    int64
+}
+
+var _ Method = (*Remapped)(nil)
+
+// NewRemapped builds M2 over one device, reserving spareFraction of the
+// logical capacity (at least one slot) as spares.
+func NewRemapped(dev *memsim.Device, spareFraction float64) (*Remapped, error) {
+	if spareFraction <= 0 || spareFraction >= 1 {
+		return nil, fmt.Errorf("memaccess: spare fraction %v out of (0,1)", spareFraction)
+	}
+	slots := dev.Size() / 2
+	spares := int(float64(slots) * spareFraction)
+	if spares < 1 {
+		spares = 1
+	}
+	if spares >= slots {
+		return nil, fmt.Errorf("memaccess: device too small for spares")
+	}
+	return &Remapped{
+		dev:    dev,
+		size:   slots - spares,
+		spares: spares,
+		remap:  make(map[int]int),
+	}, nil
+}
+
+// Name implements Method.
+func (*Remapped) Name() string { return "M2-remap" }
+
+// Tolerates implements Method.
+func (*Remapped) Tolerates() []faults.Effect {
+	return []faults.Effect{faults.BitFlip, faults.StuckAt}
+}
+
+// Cost implements Method.
+func (*Remapped) Cost() Cost { return Cost{SpacePerWord: 2.2, TimePerOp: 3} }
+
+// Size implements Method.
+func (m *Remapped) Size() int { return m.size }
+
+// Remaps reports how many logical words migrated to spares.
+func (m *Remapped) Remaps() int64 { return m.remaps }
+
+func (m *Remapped) phys(addr int) int {
+	if p, ok := m.remap[addr]; ok {
+		return p
+	}
+	return 2 * addr
+}
+
+// Read implements Method. A corrected single-bit error triggers a
+// verified scrub; if the error turns out to be a stuck bit (the scrub
+// does not take), the word migrates to a spare slot with its corrected
+// contents — stuck-at faults developing *under* stored data are healed,
+// not just the ones caught at write time.
+func (m *Remapped) Read(addr int) (uint64, error) {
+	if err := boundsCheck(addr, m.size); err != nil {
+		return 0, err
+	}
+	phys := m.phys(addr)
+	lo, err := m.dev.Read(phys)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := m.dev.Read(phys + 1)
+	if err != nil {
+		return 0, err
+	}
+	data, status, err := ecc.Decode(ecc.Codeword{Lo: lo, Hi: uint8(hi)})
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrUnrecoverable, err)
+	}
+	if status == ecc.Corrected {
+		m.corrected++
+		if err := m.Write(addr, data); err != nil {
+			return 0, err
+		}
+	}
+	return data, nil
+}
+
+// Scrub performs one patrol pass over all words, healing correctable
+// errors and remapping stuck slots. It returns the number of words that
+// could not be recovered.
+func (m *Remapped) Scrub() int {
+	failed := 0
+	for addr := 0; addr < m.size; addr++ {
+		if _, err := m.Read(addr); err != nil {
+			failed++
+		}
+	}
+	return failed
+}
+
+// Write implements Method.
+func (m *Remapped) Write(addr int, v uint64) error {
+	if err := boundsCheck(addr, m.size); err != nil {
+		return err
+	}
+	phys := m.phys(addr)
+	for {
+		err := m.writeVerified(phys, v)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, errStuck) {
+			return err
+		}
+		// The slot has a stuck bit: move to the next spare.
+		next, err := m.allocSpare()
+		if err != nil {
+			return err
+		}
+		phys = next
+		m.remap[addr] = phys
+		m.remaps++
+	}
+}
+
+var errStuck = errors.New("memaccess: stuck bit detected on read-back")
+
+// writeVerified writes the codeword and reads the raw words back; any
+// mismatch means a stuck bit in this slot.
+func (m *Remapped) writeVerified(phys int, v uint64) error {
+	cw := ecc.Encode(v)
+	if err := m.dev.Write(phys, cw.Lo); err != nil {
+		return err
+	}
+	if err := m.dev.Write(phys+1, uint64(cw.Hi)); err != nil {
+		return err
+	}
+	lo, err := m.dev.Read(phys)
+	if err != nil {
+		return err
+	}
+	hi, err := m.dev.Read(phys + 1)
+	if err != nil {
+		return err
+	}
+	if lo != cw.Lo || uint8(hi) != cw.Hi {
+		return errStuck
+	}
+	return nil
+}
+
+// allocSpare returns the physical base of the next unused spare slot.
+func (m *Remapped) allocSpare() (int, error) {
+	if m.nextSpare >= m.spares {
+		return 0, ErrNoSpare
+	}
+	base := 2 * (m.size + m.nextSpare)
+	m.nextSpare++
+	return base, nil
+}
+
+// --- M3: TMR over ECC across devices ---------------------------------
+
+// TMR is M3: each logical word is stored as an ECC codeword on three
+// separate devices; reads decode each replica and vote. A latch-up
+// wiping one device's chip corrupts at most one replica, which the vote
+// masks and the repair path rewrites.
+type TMR struct {
+	devs        [3]*memsim.Device
+	resetOnHalt bool
+	repairs     int64
+	resets      int64
+}
+
+var _ Method = (*TMR)(nil)
+
+// NewTMR builds M3 over three devices, which should be distinct so that
+// a latch-up affects a single replica.
+func NewTMR(d0, d1, d2 *memsim.Device) *TMR {
+	return &TMR{devs: [3]*memsim.Device{d0, d1, d2}}
+}
+
+// NewFullSEE builds M4: TMR that additionally power-resets a device
+// halted by a functional interrupt and restores its contents from the
+// surviving replicas.
+func NewFullSEE(d0, d1, d2 *memsim.Device) *TMR {
+	t := NewTMR(d0, d1, d2)
+	t.resetOnHalt = true
+	return t
+}
+
+// Name implements Method.
+func (m *TMR) Name() string {
+	if m.resetOnHalt {
+		return "M4-fullsee"
+	}
+	return "M3-tmr"
+}
+
+// Tolerates implements Method.
+func (m *TMR) Tolerates() []faults.Effect {
+	out := []faults.Effect{faults.BitFlip, faults.LatchUp}
+	if m.resetOnHalt {
+		out = append(out, faults.FunctionalInterrupt)
+	}
+	return out
+}
+
+// Cost implements Method.
+func (m *TMR) Cost() Cost {
+	if m.resetOnHalt {
+		return Cost{SpacePerWord: 6, TimePerOp: 5}
+	}
+	return Cost{SpacePerWord: 6, TimePerOp: 4}
+}
+
+// Size implements Method.
+func (m *TMR) Size() int {
+	min := m.devs[0].Size()
+	for _, d := range m.devs[1:] {
+		if d.Size() < min {
+			min = d.Size()
+		}
+	}
+	return min / 2
+}
+
+// Repairs reports how many replica repairs the method performed.
+func (m *TMR) Repairs() int64 { return m.repairs }
+
+// Resets reports how many power resets M4 performed.
+func (m *TMR) Resets() int64 { return m.resets }
+
+// readReplica decodes the codeword for addr on device i.
+func (m *TMR) readReplica(i, addr int) (uint64, error) {
+	d := m.devs[i]
+	lo, err := d.Read(2 * addr)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := d.Read(2*addr + 1)
+	if err != nil {
+		return 0, err
+	}
+	v, _, err := ecc.Decode(ecc.Codeword{Lo: lo, Hi: uint8(hi)})
+	return v, err
+}
+
+// writeReplica encodes and stores v for addr on device i.
+func (m *TMR) writeReplica(i, addr int, v uint64) error {
+	cw := ecc.Encode(v)
+	if err := m.devs[i].Write(2*addr, cw.Lo); err != nil {
+		return err
+	}
+	return m.devs[i].Write(2*addr+1, uint64(cw.Hi))
+}
+
+// recoverDevice handles a halted device when resetOnHalt is set: power
+// reset followed by a full restore from the surviving replicas, so the
+// organ is back at full strength immediately rather than healing one
+// word per access.
+func (m *TMR) recoverDevice(i int) bool {
+	if !m.resetOnHalt || !m.devs[i].Halted() {
+		return false
+	}
+	m.devs[i].PowerReset()
+	m.resets++
+	m.restoreDevice(i)
+	return true
+}
+
+// restoreDevice rewrites every word of device i from the other replicas.
+// Words whose surviving replicas disagree are skipped; the next voted
+// read repairs them.
+func (m *TMR) restoreDevice(i int) {
+	for addr := 0; addr < m.Size(); addr++ {
+		var (
+			vals  [2]uint64
+			valid [2]bool
+		)
+		k := 0
+		for j := range m.devs {
+			if j == i {
+				continue
+			}
+			if v, err := m.readReplica(j, addr); err == nil {
+				vals[k], valid[k] = v, true
+			}
+			k++
+		}
+		var v uint64
+		switch {
+		case valid[0] && valid[1]:
+			if vals[0] != vals[1] {
+				continue
+			}
+			v = vals[0]
+		case valid[0]:
+			v = vals[0]
+		case valid[1]:
+			v = vals[1]
+		default:
+			continue
+		}
+		if err := m.writeReplica(i, addr, v); err == nil {
+			m.repairs++
+		}
+	}
+}
+
+// Scrub performs one patrol pass over all words, repairing divergent
+// replicas as a side effect of voted reads. It returns the number of
+// words that could not be recovered.
+func (m *TMR) Scrub() int {
+	failed := 0
+	for addr := 0; addr < m.Size(); addr++ {
+		if _, err := m.Read(addr); err != nil {
+			failed++
+		}
+	}
+	return failed
+}
+
+// Read implements Method.
+func (m *TMR) Read(addr int) (uint64, error) {
+	if err := boundsCheck(addr, m.Size()); err != nil {
+		return 0, err
+	}
+	var (
+		vals [3]uint64
+		good [3]bool
+	)
+	for i := range m.devs {
+		v, err := m.readReplica(i, addr)
+		if err != nil {
+			if errors.Is(err, memsim.ErrHalted) && m.recoverDevice(i) {
+				// Contents are gone after the reset; repair below.
+				continue
+			}
+			continue
+		}
+		vals[i], good[i] = v, true
+	}
+	// Majority among good replicas.
+	voted, count := majority3(vals, good)
+	if count < 2 {
+		return 0, fmt.Errorf("%w: no replica majority at %d", ErrUnrecoverable, addr)
+	}
+	// Repair divergent or lost replicas.
+	for i := range m.devs {
+		if !good[i] || vals[i] != voted {
+			if err := m.writeReplica(i, addr, voted); err == nil {
+				m.repairs++
+			}
+		}
+	}
+	return voted, nil
+}
+
+// majority3 returns the value shared by at least two good replicas and
+// how many replicas back it.
+func majority3(vals [3]uint64, good [3]bool) (uint64, int) {
+	bestVal, bestCount := uint64(0), 0
+	for i := 0; i < 3; i++ {
+		if !good[i] {
+			continue
+		}
+		count := 0
+		for j := 0; j < 3; j++ {
+			if good[j] && vals[j] == vals[i] {
+				count++
+			}
+		}
+		if count > bestCount {
+			bestVal, bestCount = vals[i], count
+		}
+	}
+	return bestVal, bestCount
+}
+
+// Write implements Method.
+func (m *TMR) Write(addr int, v uint64) error {
+	if err := boundsCheck(addr, m.Size()); err != nil {
+		return err
+	}
+	okCount := 0
+	for i := range m.devs {
+		err := m.writeReplica(i, addr, v)
+		if err != nil && errors.Is(err, memsim.ErrHalted) && m.recoverDevice(i) {
+			err = m.writeReplica(i, addr, v)
+		}
+		if err == nil {
+			okCount++
+		}
+	}
+	if okCount < 2 {
+		return fmt.Errorf("%w: write reached only %d replicas", ErrUnrecoverable, okCount)
+	}
+	return nil
+}
+
+// --- Specs: the catalogue the selector consumes ----------------------
+
+// Spec describes one method kind: its tolerance set, its cost, and how
+// to build it. This is the designer-supplied table the §3.1 toolset
+// selects from.
+type Spec struct {
+	Name      string
+	Tolerates []faults.Effect
+	Cost      Cost
+	// Devices is how many devices Build consumes.
+	Devices int
+	// Build constructs the method over the given devices.
+	Build func(devs []*memsim.Device) (Method, error)
+}
+
+// Specs returns the catalogue M0–M4.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name: "M0-raw", Tolerates: nil,
+			Cost: (&Raw{}).Cost(), Devices: 1,
+			Build: func(devs []*memsim.Device) (Method, error) {
+				return NewRaw(devs[0]), nil
+			},
+		},
+		{
+			Name: "M1-scrub", Tolerates: []faults.Effect{faults.BitFlip},
+			Cost: (&Scrubbed{}).Cost(), Devices: 1,
+			Build: func(devs []*memsim.Device) (Method, error) {
+				return NewScrubbed(devs[0]), nil
+			},
+		},
+		{
+			Name: "M2-remap", Tolerates: []faults.Effect{faults.BitFlip, faults.StuckAt},
+			Cost: (&Remapped{}).Cost(), Devices: 1,
+			Build: func(devs []*memsim.Device) (Method, error) {
+				return NewRemapped(devs[0], 0.1)
+			},
+		},
+		{
+			Name: "M3-tmr", Tolerates: []faults.Effect{faults.BitFlip, faults.LatchUp},
+			Cost: Cost{SpacePerWord: 6, TimePerOp: 4}, Devices: 3,
+			Build: func(devs []*memsim.Device) (Method, error) {
+				return NewTMR(devs[0], devs[1], devs[2]), nil
+			},
+		},
+		{
+			Name: "M4-fullsee",
+			Tolerates: []faults.Effect{
+				faults.BitFlip, faults.LatchUp, faults.FunctionalInterrupt,
+			},
+			Cost: Cost{SpacePerWord: 6, TimePerOp: 5}, Devices: 3,
+			Build: func(devs []*memsim.Device) (Method, error) {
+				return NewFullSEE(devs[0], devs[1], devs[2]), nil
+			},
+		},
+	}
+}
+
+// SpecByName returns the spec with the given name.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// ToleratesAll reports whether the spec's tolerance set includes every
+// listed effect.
+func (s Spec) ToleratesAll(effects []faults.Effect) bool {
+	for _, e := range effects {
+		found := false
+		for _, t := range s.Tolerates {
+			if t == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

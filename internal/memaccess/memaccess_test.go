@@ -1,0 +1,493 @@
+package memaccess
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"aft/internal/faults"
+	"aft/internal/memsim"
+	"aft/internal/xrand"
+)
+
+func dev(t *testing.T, cfg memsim.Config) *memsim.Device {
+	t.Helper()
+	d, err := memsim.New(cfg, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func stable(t *testing.T, words int) *memsim.Device {
+	return dev(t, memsim.StableConfig("dev", words))
+}
+
+// checkRoundTrip writes a pattern through the method and reads it back.
+func checkRoundTrip(t *testing.T, m Method) {
+	t.Helper()
+	for i := 0; i < m.Size(); i++ {
+		if err := m.Write(i, uint64(i)*0x9E3779B97F4A7C15+1); err != nil {
+			t.Fatalf("%s: Write(%d): %v", m.Name(), i, err)
+		}
+	}
+	for i := 0; i < m.Size(); i++ {
+		v, err := m.Read(i)
+		if err != nil {
+			t.Fatalf("%s: Read(%d): %v", m.Name(), i, err)
+		}
+		if want := uint64(i)*0x9E3779B97F4A7C15 + 1; v != want {
+			t.Fatalf("%s: word %d = %x, want %x", m.Name(), i, v, want)
+		}
+	}
+}
+
+func TestAllMethodsRoundTripOnStableDevice(t *testing.T) {
+	t.Run("M0", func(t *testing.T) { checkRoundTrip(t, NewRaw(stable(t, 32))) })
+	t.Run("M1", func(t *testing.T) { checkRoundTrip(t, NewScrubbed(stable(t, 64))) })
+	t.Run("M2", func(t *testing.T) {
+		m, err := NewRemapped(stable(t, 64), 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRoundTrip(t, m)
+	})
+	t.Run("M3", func(t *testing.T) {
+		checkRoundTrip(t, NewTMR(stable(t, 64), stable(t, 64), stable(t, 64)))
+	})
+	t.Run("M4", func(t *testing.T) {
+		checkRoundTrip(t, NewFullSEE(stable(t, 64), stable(t, 64), stable(t, 64)))
+	})
+}
+
+func TestBoundsChecked(t *testing.T) {
+	methods := []Method{
+		NewRaw(stable(t, 8)),
+		NewScrubbed(stable(t, 8)),
+		NewTMR(stable(t, 8), stable(t, 8), stable(t, 8)),
+	}
+	for _, m := range methods {
+		if _, err := m.Read(m.Size()); err == nil {
+			t.Errorf("%s: out-of-range read accepted", m.Name())
+		}
+		if err := m.Write(-1, 0); err == nil {
+			t.Errorf("%s: negative write accepted", m.Name())
+		}
+	}
+}
+
+func TestM0FailsUnderSEU(t *testing.T) {
+	d := stable(t, 8)
+	m := NewRaw(d)
+	if err := m.Write(3, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectSEU(3, 5); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 100 {
+		t.Fatal("M0 unexpectedly masked an SEU; the negative control is broken")
+	}
+}
+
+func TestM1MasksSEU(t *testing.T) {
+	d := stable(t, 8)
+	m := NewScrubbed(d)
+	if err := m.Write(1, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the stored codeword (physical words 2,3).
+	if err := d.InjectSEU(2, 13); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xCAFE {
+		t.Fatalf("M1 read %x, want CAFE", v)
+	}
+	if m.Corrected() != 1 {
+		t.Fatalf("Corrected() = %d, want 1", m.Corrected())
+	}
+}
+
+func TestM1ScrubsOnRead(t *testing.T) {
+	d := stable(t, 8)
+	m := NewScrubbed(d)
+	if err := m.Write(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectSEU(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	// After the scrub a second flip elsewhere must still be correctable:
+	// errors do not accumulate.
+	if err := d.InjectSEU(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read(0)
+	if err != nil {
+		t.Fatalf("scrubbing failed; second flip was fatal: %v", err)
+	}
+	if v != 7 {
+		t.Fatalf("read %x, want 7", v)
+	}
+}
+
+func TestM1FailsUnderDoubleFlip(t *testing.T) {
+	d := stable(t, 8)
+	m := NewScrubbed(d)
+	if err := m.Write(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectSEU(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectSEU(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(0); !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("double flip before scrub: err = %v, want ErrUnrecoverable", err)
+	}
+}
+
+func TestM2SurvivesStuckBit(t *testing.T) {
+	d := stable(t, 64)
+	m, err := NewRemapped(d, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make logical word 0's home slot defective.
+	if err := d.InjectStuck(0, 11, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("M2 read %x, want 0 (stuck bit should have forced a remap)", v)
+	}
+	if m.Remaps() != 1 {
+		t.Fatalf("Remaps() = %d, want 1", m.Remaps())
+	}
+	// The remapped slot keeps working.
+	if err := m.Write(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read(0); v != 42 {
+		t.Fatalf("remapped slot read %x, want 42", v)
+	}
+}
+
+func TestM2SpareExhaustion(t *testing.T) {
+	d := stable(t, 8) // 4 slots: 3 logical + 1 spare
+	m, err := NewRemapped(d, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 3 {
+		t.Fatalf("Size() = %d, want 3", m.Size())
+	}
+	// Break logical slot 0 and the only spare slot.
+	if err := d.InjectStuck(0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectStuck(6, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0, 0); !errors.Is(err, ErrNoSpare) {
+		t.Fatalf("err = %v, want ErrNoSpare", err)
+	}
+}
+
+func TestM2RejectsBadSpareFraction(t *testing.T) {
+	for _, f := range []float64{0, 1, -0.5, 2} {
+		if _, err := NewRemapped(stable(t, 64), f); err == nil {
+			t.Errorf("spare fraction %v accepted", f)
+		}
+	}
+}
+
+func TestM3SurvivesSEL(t *testing.T) {
+	d0, d1, d2 := stable(t, 64), stable(t, 64), stable(t, 64)
+	m := NewTMR(d0, d1, d2)
+	for i := 0; i < m.Size(); i++ {
+		if err := m.Write(i, uint64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Latch-up wipes device 1 entirely (single chip).
+	d1.InjectSEL(0)
+	for i := 0; i < m.Size(); i++ {
+		v, err := m.Read(i)
+		if err != nil {
+			t.Fatalf("Read(%d) after SEL: %v", i, err)
+		}
+		if v != uint64(i)+1 {
+			t.Fatalf("word %d = %x after SEL, want %x", i, v, i+1)
+		}
+	}
+	if m.Repairs() == 0 {
+		t.Fatal("SEL recovery did not repair the wiped replica")
+	}
+	// After repair, a second SEL on another device must still be masked.
+	d2.InjectSEL(0)
+	if v, err := m.Read(3); err != nil || v != 4 {
+		t.Fatalf("second SEL not masked: %x, %v", v, err)
+	}
+}
+
+func TestM3FailsUnderDoubleSEL(t *testing.T) {
+	d0, d1, d2 := stable(t, 64), stable(t, 64), stable(t, 64)
+	m := NewTMR(d0, d1, d2)
+	if err := m.Write(0, 123); err != nil {
+		t.Fatal(err)
+	}
+	// Two simultaneous wipes exceed the design fault model. Both wiped
+	// replicas decode to the same garbage (all-zero), however, so the
+	// vote *can* go wrong — the contract is ErrUnrecoverable or wrong
+	// data, never the right data reported with false confidence. Here
+	// all-zero decodes as data 0 on both, outvoting the survivor.
+	d0.InjectSEL(0)
+	d1.InjectSEL(0)
+	v, err := m.Read(0)
+	if err == nil && v == 123 {
+		t.Fatal("double SEL masked; negative control broken")
+	}
+}
+
+func TestM3DoesNotRecoverSFI(t *testing.T) {
+	d0, d1, d2 := stable(t, 64), stable(t, 64), stable(t, 64)
+	m := NewTMR(d0, d1, d2)
+	if err := m.Write(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	d0.InjectSFI()
+	// M3 still reads via majority of the two live replicas…
+	if v, err := m.Read(0); err != nil || v != 9 {
+		t.Fatalf("M3 read with one halted device: %x, %v", v, err)
+	}
+	// …but never resets the halted device.
+	if !d0.Halted() {
+		t.Fatal("M3 reset a halted device; that is M4 behaviour")
+	}
+	if m.Resets() != 0 {
+		t.Fatal("M3 counted resets")
+	}
+}
+
+func TestM4RecoversSFI(t *testing.T) {
+	d0, d1, d2 := stable(t, 64), stable(t, 64), stable(t, 64)
+	m := NewFullSEE(d0, d1, d2)
+	for i := 0; i < 4; i++ {
+		if err := m.Write(i, uint64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d0.InjectSFI()
+	// Read recovers: power reset + repair from surviving replicas.
+	v, err := m.Read(2)
+	if err != nil || v != 102 {
+		t.Fatalf("M4 read after SFI: %x, %v", v, err)
+	}
+	if d0.Halted() {
+		t.Fatal("M4 left the device halted")
+	}
+	if m.Resets() != 1 {
+		t.Fatalf("Resets() = %d, want 1", m.Resets())
+	}
+	// The repaired word is back on all three devices: wipe the other two
+	// and the restored replica must carry it. (First re-read to repair.)
+	if _, err := m.Read(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestM4WriteOnHaltedDevice(t *testing.T) {
+	d0, d1, d2 := stable(t, 64), stable(t, 64), stable(t, 64)
+	m := NewFullSEE(d0, d1, d2)
+	d1.InjectSFI()
+	if err := m.Write(0, 77); err != nil {
+		t.Fatal(err)
+	}
+	if d1.Halted() {
+		t.Fatal("write did not reset the halted device")
+	}
+	if v, err := m.Read(0); err != nil || v != 77 {
+		t.Fatalf("read after write-through-reset: %x, %v", v, err)
+	}
+}
+
+func TestTolerancesMatchAssumptionLattice(t *testing.T) {
+	// The method tolerance sets must mirror f0..f4 exactly.
+	want := map[string][]faults.Effect{
+		"M0-raw":     nil,
+		"M1-scrub":   {faults.BitFlip},
+		"M2-remap":   {faults.BitFlip, faults.StuckAt},
+		"M3-tmr":     {faults.BitFlip, faults.LatchUp},
+		"M4-fullsee": {faults.BitFlip, faults.LatchUp, faults.FunctionalInterrupt},
+	}
+	for _, s := range Specs() {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected spec %q", s.Name)
+			continue
+		}
+		if len(s.Tolerates) != len(w) {
+			t.Errorf("%s tolerates %v, want %v", s.Name, s.Tolerates, w)
+			continue
+		}
+		for i := range w {
+			if s.Tolerates[i] != w[i] {
+				t.Errorf("%s tolerates %v, want %v", s.Name, s.Tolerates, w)
+			}
+		}
+	}
+}
+
+func TestCostsStrictlyIncrease(t *testing.T) {
+	specs := Specs()
+	for i := 1; i < len(specs); i++ {
+		if specs[i].Cost.Total() <= specs[i-1].Cost.Total() {
+			t.Errorf("cost of %s (%v) not above %s (%v)",
+				specs[i].Name, specs[i].Cost.Total(),
+				specs[i-1].Name, specs[i-1].Cost.Total())
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, ok := SpecByName("M2-remap")
+	if !ok || s.Name != "M2-remap" {
+		t.Fatalf("SpecByName = %+v, %v", s, ok)
+	}
+	if _, ok := SpecByName("M9"); ok {
+		t.Fatal("unknown spec resolved")
+	}
+}
+
+func TestToleratesAll(t *testing.T) {
+	s, _ := SpecByName("M3-tmr")
+	if !s.ToleratesAll([]faults.Effect{faults.BitFlip}) {
+		t.Fatal("M3 should tolerate bit flips")
+	}
+	if s.ToleratesAll([]faults.Effect{faults.FunctionalInterrupt}) {
+		t.Fatal("M3 should not tolerate SFI")
+	}
+	if !s.ToleratesAll(nil) {
+		t.Fatal("empty effect set must always be tolerated")
+	}
+}
+
+func TestSpecsBuild(t *testing.T) {
+	for _, s := range Specs() {
+		devs := make([]*memsim.Device, s.Devices)
+		for i := range devs {
+			devs[i] = stable(t, 64)
+		}
+		m, err := s.Build(devs)
+		if err != nil {
+			t.Fatalf("%s: Build: %v", s.Name, err)
+		}
+		if m.Name() != s.Name {
+			t.Fatalf("built method name %q != spec name %q", m.Name(), s.Name)
+		}
+		if err := m.Write(0, 1); err != nil {
+			t.Fatalf("%s: smoke write: %v", s.Name, err)
+		}
+	}
+}
+
+// Property: every method round-trips arbitrary values on a fault-free
+// device.
+func TestRoundTripProperty(t *testing.T) {
+	d0, d1, d2 := stable(t, 64), stable(t, 64), stable(t, 64)
+	methods := []Method{
+		NewRaw(stable(t, 32)),
+		NewScrubbed(stable(t, 64)),
+		NewTMR(d0, d1, d2),
+	}
+	for _, m := range methods {
+		m := m
+		f := func(v uint64, addr uint8) bool {
+			a := int(addr) % m.Size()
+			if err := m.Write(a, v); err != nil {
+				return false
+			}
+			got, err := m.Read(a)
+			return err == nil && got == v
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// Property: M1 masks any single injected bit flip in a stored codeword.
+func TestM1SingleFlipProperty(t *testing.T) {
+	d := stable(t, 64)
+	m := NewScrubbed(d)
+	f := func(v uint64, addr uint8, bit uint8, hiWord bool) bool {
+		a := int(addr) % m.Size()
+		if err := m.Write(a, v); err != nil {
+			return false
+		}
+		phys := 2 * a
+		b := uint(bit) % 64
+		if hiWord {
+			phys++
+			b = uint(bit) % 8 // only the low byte of the check word is live
+		}
+		if err := d.InjectSEU(phys, b); err != nil {
+			return false
+		}
+		got, err := m.Read(a)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkM1ReadClean(b *testing.B) {
+	d, _ := memsim.New(memsim.StableConfig("d", 64), xrand.New(1))
+	m := NewScrubbed(d)
+	if err := m.Write(0, 42); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Read(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkM3Read(b *testing.B) {
+	mk := func() *memsim.Device {
+		d, _ := memsim.New(memsim.StableConfig("d", 64), xrand.New(1))
+		return d
+	}
+	m := NewTMR(mk(), mk(), mk())
+	if err := m.Write(0, 42); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Read(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package memaccess
+
+import (
+	"testing"
+
+	"aft/internal/memsim"
+	"aft/internal/xrand"
+)
+
+func TestScrubbedScrubHealsLatentFlips(t *testing.T) {
+	d := stable(t, 64)
+	m := NewScrubbed(d)
+	for i := 0; i < m.Size(); i++ {
+		if err := m.Write(i, uint64(i)+100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One latent flip in each of three codewords.
+	for _, addr := range []int{0, 5, 12} {
+		if err := d.InjectSEU(2*addr, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if failed := m.Scrub(); failed != 0 {
+		t.Fatalf("Scrub failed on %d words", failed)
+	}
+	if m.Corrected() != 3 {
+		t.Fatalf("Corrected = %d, want 3", m.Corrected())
+	}
+	// After the scrub a second flip per word is still correctable.
+	for _, addr := range []int{0, 5, 12} {
+		if err := d.InjectSEU(2*addr, 19); err != nil {
+			t.Fatal(err)
+		}
+		v, err := m.Read(addr)
+		if err != nil || v != uint64(addr)+100 {
+			t.Fatalf("post-scrub read(%d) = %x, %v", addr, v, err)
+		}
+	}
+}
+
+func TestScrubbedScrubReportsUnrecoverable(t *testing.T) {
+	d := stable(t, 64)
+	m := NewScrubbed(d)
+	if err := m.Write(3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectSEU(6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectSEU(6, 2); err != nil {
+		t.Fatal(err)
+	}
+	if failed := m.Scrub(); failed != 1 {
+		t.Fatalf("Scrub reported %d failures, want 1", failed)
+	}
+}
+
+func TestRemappedScrubMigratesStuckWords(t *testing.T) {
+	d := stable(t, 64)
+	m, err := NewRemapped(d, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.Size(); i++ {
+		if err := m.Write(i, uint64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stuck bit develops *under* stored data in word 2's home slot.
+	if err := d.InjectStuck(4, 9, true); err != nil {
+		t.Fatal(err)
+	}
+	if failed := m.Scrub(); failed != 0 {
+		t.Fatalf("Scrub failed on %d words", failed)
+	}
+	if m.Remaps() != 1 {
+		t.Fatalf("Remaps = %d, want 1 (stuck slot must migrate)", m.Remaps())
+	}
+	if v, err := m.Read(2); err != nil || v != 3 {
+		t.Fatalf("read(2) after migration = %x, %v", v, err)
+	}
+}
+
+func TestTMRScrubRepairsWipedReplica(t *testing.T) {
+	d0, d1, d2 := stable(t, 64), stable(t, 64), stable(t, 64)
+	m := NewTMR(d0, d1, d2)
+	for i := 0; i < m.Size(); i++ {
+		if err := m.Write(i, uint64(i)+50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d1.InjectSEL(0) // wipes everything on the single-chip device
+	if failed := m.Scrub(); failed != 0 {
+		t.Fatalf("Scrub failed on %d words", failed)
+	}
+	if m.Repairs() == 0 {
+		t.Fatal("scrub repaired nothing")
+	}
+	// The wiped device now carries the data again: wipe the OTHER two
+	// devices and the repaired replica must still carry a quorum...
+	// not possible with one replica; instead verify d1's raw contents
+	// decode to the right values via a fresh TMR over d1 only triples.
+	mCheck := NewTMR(d1, d1, d1)
+	for i := 0; i < mCheck.Size(); i++ {
+		v, err := mCheck.Read(i)
+		if err != nil || v != uint64(i)+50 {
+			t.Fatalf("repaired replica word %d = %x, %v", i, v, err)
+		}
+	}
+}
+
+func TestM4RestoreAfterResetIsComplete(t *testing.T) {
+	d0, d1, d2 := stable(t, 64), stable(t, 64), stable(t, 64)
+	m := NewFullSEE(d0, d1, d2)
+	for i := 0; i < m.Size(); i++ {
+		if err := m.Write(i, uint64(i)*3+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d2.InjectSFI()
+	// A single read triggers reset + full restore of every word.
+	if _, err := m.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Resets() != 1 {
+		t.Fatalf("resets = %d", m.Resets())
+	}
+	// Every word on the reset device is restored, not only word 0:
+	// verify via a TMR reading d2 alone.
+	mCheck := NewTMR(d2, d2, d2)
+	for i := 0; i < mCheck.Size(); i++ {
+		v, err := mCheck.Read(i)
+		if err != nil || v != uint64(i)*3+1 {
+			t.Fatalf("restored word %d = %x, %v", i, v, err)
+		}
+	}
+}
+
+func TestTMRScrubCountsUnrecoverableWords(t *testing.T) {
+	d0, d1, d2 := stable(t, 64), stable(t, 64), stable(t, 64)
+	m := NewTMR(d0, d1, d2)
+	if err := m.Write(0, 11); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt word 0 beyond the fault model: double-flip two replicas.
+	for _, d := range []*memsim.Device{d0, d1} {
+		if err := d.InjectSEU(0, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.InjectSEU(0, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if failed := m.Scrub(); failed == 0 {
+		t.Fatal("scrub masked a beyond-model corruption")
+	}
+}
+
+func TestScrubberInterfaceCompliance(t *testing.T) {
+	rng := xrand.New(1)
+	d, err := memsim.New(memsim.StableConfig("d", 64), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var methods []Method
+	methods = append(methods, NewScrubbed(d))
+	r, err := NewRemapped(stable(t, 64), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods = append(methods, r, NewTMR(stable(t, 64), stable(t, 64), stable(t, 64)))
+	for _, m := range methods {
+		if _, ok := m.(Scrubber); !ok {
+			t.Errorf("%s does not implement Scrubber", m.Name())
+		}
+	}
+	// M0 deliberately does not scrub.
+	if _, ok := Method(NewRaw(d)).(Scrubber); ok {
+		t.Error("M0-raw should not implement Scrubber")
+	}
+}

@@ -1,0 +1,326 @@
+// Package memsim simulates memory hardware with configurable failure
+// semantics.
+//
+// The paper's §3.1 contrasts CMOS memories ("mostly single bit errors")
+// with SDRAM chips subject to single-event effects: SEL (latch-up, loss
+// of all data on a chip), SEU (frequent soft errors), and SFI (functional
+// interrupt requiring a power reset). The real experiment needs radiation
+// and real DIMMs; this package substitutes a word-addressable device
+// model whose Tick method injects exactly those effects at configurable,
+// lot-dependent rates, so that the memory-access methods of
+// internal/memaccess can be exercised against every failure semantics
+// the paper enumerates.
+package memsim
+
+import (
+	"errors"
+	"fmt"
+
+	"aft/internal/faults"
+	"aft/internal/xrand"
+)
+
+// ErrHalted is returned by a device that suffered a single-event
+// functional interrupt (SFI) and has not yet been power-reset.
+var ErrHalted = errors.New("memsim: device halted by functional interrupt (power reset required)")
+
+// ErrBounds is returned for out-of-range addresses.
+var ErrBounds = errors.New("memsim: address out of range")
+
+// Technology identifies the device family, which determines the fault
+// classes the device can exhibit.
+type Technology int
+
+// Supported technologies.
+const (
+	CMOS Technology = iota + 1
+	SDRAM
+)
+
+// String returns the technology name.
+func (t Technology) String() string {
+	switch t {
+	case CMOS:
+		return "CMOS"
+	case SDRAM:
+		return "SDRAM"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// Config describes a device's geometry and per-tick fault rates. Rates
+// are probabilities per Tick; the paper notes ("even from lot to lot
+// error and failure rates can vary more than one order of magnitude"),
+// which experiments model by scaling a base config per lot.
+type Config struct {
+	// Name identifies the device in traces.
+	Name string
+	// Technology determines which effects make sense for the device.
+	Technology Technology
+	// Words is the number of 64-bit words.
+	Words int
+	// Chips is the number of chips the words are striped across; an SEL
+	// wipes one whole chip. Must divide into Words reasonably; 0 means 1.
+	Chips int
+	// SEURate is the per-tick probability of one soft error (bit flip)
+	// in a uniformly random word.
+	SEURate float64
+	// SELRate is the per-tick probability of a single-event latch-up
+	// destroying the contents of one random chip.
+	SELRate float64
+	// SFIRate is the per-tick probability of a functional interrupt that
+	// halts the device until PowerReset.
+	SFIRate float64
+	// StuckRate is the per-tick probability that one random bit becomes
+	// permanently stuck at its current value's complement.
+	StuckRate float64
+}
+
+// Effects lists the fault effects this configuration can produce, in a
+// stable order. This is the ground truth that the §3.1 knowledge base
+// approximates.
+func (c Config) Effects() []faults.Effect {
+	var out []faults.Effect
+	if c.SEURate > 0 {
+		out = append(out, faults.BitFlip)
+	}
+	if c.StuckRate > 0 {
+		out = append(out, faults.StuckAt)
+	}
+	if c.SELRate > 0 {
+		out = append(out, faults.LatchUp)
+	}
+	if c.SFIRate > 0 {
+		out = append(out, faults.FunctionalInterrupt)
+	}
+	return out
+}
+
+// Scale returns a copy of the config with every fault rate multiplied by
+// k, modelling lot-to-lot variation.
+func (c Config) Scale(k float64) Config {
+	c.SEURate *= k
+	c.SELRate *= k
+	c.SFIRate *= k
+	c.StuckRate *= k
+	return c
+}
+
+// StableConfig returns a device with no faults at all (assumption f0).
+func StableConfig(name string, words int) Config {
+	return Config{Name: name, Technology: CMOS, Words: words, Chips: 1}
+}
+
+// CMOSConfig returns a CMOS-like device: transient single-bit soft
+// errors only (assumption f1 territory).
+func CMOSConfig(name string, words int) Config {
+	return Config{
+		Name:       name,
+		Technology: CMOS,
+		Words:      words,
+		Chips:      1,
+		SEURate:    0.01,
+	}
+}
+
+// AgedCMOSConfig returns a CMOS device that additionally develops
+// permanent stuck-at bits (assumption f2 territory).
+func AgedCMOSConfig(name string, words int) Config {
+	c := CMOSConfig(name, words)
+	c.StuckRate = 0.002
+	return c
+}
+
+// SDRAMConfig returns an SDRAM device with SEU and SEL (assumption f3
+// territory).
+func SDRAMConfig(name string, words int) Config {
+	return Config{
+		Name:       name,
+		Technology: SDRAM,
+		Words:      words,
+		Chips:      8,
+		SEURate:    0.05,
+		SELRate:    0.001,
+	}
+}
+
+// HarshSDRAMConfig returns an SDRAM device with SEU, SEL and SFI
+// (assumption f4 territory — the full single-event-effect menagerie).
+func HarshSDRAMConfig(name string, words int) Config {
+	c := SDRAMConfig(name, words)
+	c.SFIRate = 0.0005
+	return c
+}
+
+// Device is a simulated word-addressable memory device.
+type Device struct {
+	cfg    Config
+	words  []uint64
+	stuck0 []uint64 // mask of bits stuck at 0, per word
+	stuck1 []uint64 // mask of bits stuck at 1, per word
+	halted bool
+	rng    *xrand.Rand
+
+	// Injection counters, for experiment reporting.
+	seus, sels, sfis, stucks int64
+}
+
+// New builds a device from cfg, drawing fault events from a stream split
+// off rng.
+func New(cfg Config, rng *xrand.Rand) (*Device, error) {
+	if cfg.Words <= 0 {
+		return nil, fmt.Errorf("memsim: %q: Words must be positive, got %d", cfg.Name, cfg.Words)
+	}
+	if cfg.Chips <= 0 {
+		cfg.Chips = 1
+	}
+	if cfg.Chips > cfg.Words {
+		return nil, fmt.Errorf("memsim: %q: more chips (%d) than words (%d)", cfg.Name, cfg.Chips, cfg.Words)
+	}
+	return &Device{
+		cfg:    cfg,
+		words:  make([]uint64, cfg.Words),
+		stuck0: make([]uint64, cfg.Words),
+		stuck1: make([]uint64, cfg.Words),
+		rng:    rng.Split(),
+	}, nil
+}
+
+// Config returns the device's configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Size returns the number of words.
+func (d *Device) Size() int { return len(d.words) }
+
+// Halted reports whether the device is stopped by an SFI.
+func (d *Device) Halted() bool { return d.halted }
+
+// Read returns the word at addr, with stuck bits applied.
+func (d *Device) Read(addr int) (uint64, error) {
+	if d.halted {
+		return 0, ErrHalted
+	}
+	if addr < 0 || addr >= len(d.words) {
+		return 0, fmt.Errorf("%w: %d (size %d)", ErrBounds, addr, len(d.words))
+	}
+	return d.apply(addr, d.words[addr]), nil
+}
+
+// Write stores v at addr. Stuck bits silently hold their value, exactly
+// as real stuck-at defects do.
+func (d *Device) Write(addr int, v uint64) error {
+	if d.halted {
+		return ErrHalted
+	}
+	if addr < 0 || addr >= len(d.words) {
+		return fmt.Errorf("%w: %d (size %d)", ErrBounds, addr, len(d.words))
+	}
+	d.words[addr] = v
+	return nil
+}
+
+// apply overlays the stuck-bit masks on a raw stored value.
+func (d *Device) apply(addr int, v uint64) uint64 {
+	v &^= d.stuck0[addr]
+	v |= d.stuck1[addr]
+	return v
+}
+
+// Tick advances the device one time unit, injecting faults according to
+// the configured rates. It returns the faults injected this tick.
+func (d *Device) Tick() []faults.Fault {
+	var out []faults.Fault
+	if d.rng.Bool(d.cfg.SEURate) {
+		addr := d.rng.Intn(len(d.words))
+		bit := uint(d.rng.Intn(64))
+		d.words[addr] ^= 1 << bit
+		d.seus++
+		out = append(out, faults.Fault{Class: faults.Transient, Effect: faults.BitFlip, Target: d.cfg.Name})
+	}
+	if d.rng.Bool(d.cfg.StuckRate) {
+		addr := d.rng.Intn(len(d.words))
+		bit := uint64(1) << uint(d.rng.Intn(64))
+		if d.rng.Bool(0.5) {
+			d.stuck0[addr] |= bit
+		} else {
+			d.stuck1[addr] |= bit
+		}
+		d.stucks++
+		out = append(out, faults.Fault{Class: faults.Permanent, Effect: faults.StuckAt, Target: d.cfg.Name})
+	}
+	if d.rng.Bool(d.cfg.SELRate) {
+		chip := d.rng.Intn(d.cfg.Chips)
+		d.wipeChip(chip)
+		d.sels++
+		out = append(out, faults.Fault{Class: faults.Permanent, Effect: faults.LatchUp, Target: d.cfg.Name})
+	}
+	if d.rng.Bool(d.cfg.SFIRate) {
+		d.halted = true
+		d.sfis++
+		out = append(out, faults.Fault{Class: faults.Permanent, Effect: faults.FunctionalInterrupt, Target: d.cfg.Name})
+	}
+	return out
+}
+
+// wipeChip zeroes every word striped onto the given chip, modelling the
+// total data loss of a latch-up.
+func (d *Device) wipeChip(chip int) {
+	for addr := chip; addr < len(d.words); addr += d.cfg.Chips {
+		d.words[addr] = 0
+	}
+}
+
+// PowerReset recovers the device from an SFI halt. Per the paper ("the
+// SFI halts normal operations, and requires a power reset to recover"),
+// the reset also loses volatile contents.
+func (d *Device) PowerReset() {
+	d.halted = false
+	for i := range d.words {
+		d.words[i] = 0
+	}
+}
+
+// InjectSEU flips the given bit of the given word directly (for tests
+// and targeted experiments).
+func (d *Device) InjectSEU(addr int, bit uint) error {
+	if addr < 0 || addr >= len(d.words) {
+		return fmt.Errorf("%w: %d", ErrBounds, addr)
+	}
+	d.words[addr] ^= 1 << (bit % 64)
+	d.seus++
+	return nil
+}
+
+// InjectStuck forces the given bit of the given word to be stuck at val.
+func (d *Device) InjectStuck(addr int, bit uint, val bool) error {
+	if addr < 0 || addr >= len(d.words) {
+		return fmt.Errorf("%w: %d", ErrBounds, addr)
+	}
+	mask := uint64(1) << (bit % 64)
+	if val {
+		d.stuck1[addr] |= mask
+	} else {
+		d.stuck0[addr] |= mask
+	}
+	d.stucks++
+	return nil
+}
+
+// InjectSEL wipes one chip directly.
+func (d *Device) InjectSEL(chip int) {
+	d.wipeChip(((chip % d.cfg.Chips) + d.cfg.Chips) % d.cfg.Chips)
+	d.sels++
+}
+
+// InjectSFI halts the device directly.
+func (d *Device) InjectSFI() {
+	d.halted = true
+	d.sfis++
+}
+
+// Stats reports cumulative injected fault counts: SEUs, stuck-ats, SELs,
+// SFIs.
+func (d *Device) Stats() (seus, stucks, sels, sfis int64) {
+	return d.seus, d.stucks, d.sels, d.sfis
+}

@@ -1,0 +1,283 @@
+package memsim
+
+import (
+	"errors"
+	"testing"
+
+	"aft/internal/faults"
+	"aft/internal/xrand"
+)
+
+func newDev(t *testing.T, cfg Config) *Device {
+	t.Helper()
+	d, err := New(cfg, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := newDev(t, StableConfig("m", 16))
+	for i := 0; i < 16; i++ {
+		if err := d.Write(i, uint64(i)*0x0101010101010101); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		v, err := d.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(i)*0x0101010101010101 {
+			t.Fatalf("word %d = %x", i, v)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d := newDev(t, StableConfig("m", 4))
+	if _, err := d.Read(-1); !errors.Is(err, ErrBounds) {
+		t.Fatalf("Read(-1) err = %v", err)
+	}
+	if _, err := d.Read(4); !errors.Is(err, ErrBounds) {
+		t.Fatalf("Read(4) err = %v", err)
+	}
+	if err := d.Write(4, 0); !errors.Is(err, ErrBounds) {
+		t.Fatalf("Write(4) err = %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Name: "x", Words: 0}, xrand.New(1)); err == nil {
+		t.Fatal("zero words accepted")
+	}
+	if _, err := New(Config{Name: "x", Words: 2, Chips: 5}, xrand.New(1)); err == nil {
+		t.Fatal("more chips than words accepted")
+	}
+}
+
+func TestStableDeviceNeverFaults(t *testing.T) {
+	d := newDev(t, StableConfig("m", 8))
+	if err := d.Write(0, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if fs := d.Tick(); len(fs) != 0 {
+			t.Fatalf("stable device faulted: %v", fs)
+		}
+	}
+	v, err := d.Read(0)
+	if err != nil || v != 0xDEADBEEF {
+		t.Fatalf("stable device corrupted data: %x, %v", v, err)
+	}
+}
+
+func TestSEUFlipsOneBit(t *testing.T) {
+	d := newDev(t, StableConfig("m", 4))
+	if err := d.Write(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectSEU(2, 17); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1<<17 {
+		t.Fatalf("after SEU word = %x, want bit 17 set", v)
+	}
+	// Flipping again restores (transient semantics are "overwrite fixes").
+	if err := d.InjectSEU(2, 17); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = d.Read(2)
+	if v != 0 {
+		t.Fatalf("double flip left %x", v)
+	}
+}
+
+func TestStuckBitHolds(t *testing.T) {
+	d := newDev(t, StableConfig("m", 4))
+	if err := d.InjectStuck(1, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := d.Read(1)
+	if v != 1<<3 {
+		t.Fatalf("stuck-at-1 bit not held: %x", v)
+	}
+	if err := d.InjectStuck(1, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(1, 1<<5|1<<6); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = d.Read(1)
+	if v&(1<<5) != 0 {
+		t.Fatalf("stuck-at-0 bit not held: %x", v)
+	}
+	if v&(1<<6) == 0 {
+		t.Fatalf("unrelated bit lost: %x", v)
+	}
+}
+
+func TestSELWipesOneChipOnly(t *testing.T) {
+	cfg := StableConfig("m", 16)
+	cfg.Chips = 4
+	d := newDev(t, cfg)
+	for i := 0; i < 16; i++ {
+		if err := d.Write(i, ^uint64(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.InjectSEL(1)
+	for i := 0; i < 16; i++ {
+		v, err := d.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onChip1 := i%4 == 1
+		if onChip1 && v != 0 {
+			t.Fatalf("word %d on wiped chip still %x", i, v)
+		}
+		if !onChip1 && v != ^uint64(0) {
+			t.Fatalf("word %d off wiped chip lost data: %x", i, v)
+		}
+	}
+}
+
+func TestSFIHaltsUntilPowerReset(t *testing.T) {
+	d := newDev(t, StableConfig("m", 4))
+	if err := d.Write(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectSFI()
+	if !d.Halted() {
+		t.Fatal("InjectSFI did not halt")
+	}
+	if _, err := d.Read(0); !errors.Is(err, ErrHalted) {
+		t.Fatalf("Read on halted device: %v", err)
+	}
+	if err := d.Write(0, 1); !errors.Is(err, ErrHalted) {
+		t.Fatalf("Write on halted device: %v", err)
+	}
+	d.PowerReset()
+	if d.Halted() {
+		t.Fatal("PowerReset did not recover")
+	}
+	// Power reset loses volatile contents.
+	v, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("contents survived power reset: %x", v)
+	}
+}
+
+func TestTickInjectsAtConfiguredRates(t *testing.T) {
+	cfg := Config{Name: "m", Technology: SDRAM, Words: 64, Chips: 8,
+		SEURate: 0.1, SELRate: 0.01, SFIRate: 0.005, StuckRate: 0.02}
+	d := newDev(t, cfg)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d.Tick()
+		if d.Halted() {
+			d.PowerReset()
+		}
+	}
+	seus, stucks, sels, sfis := d.Stats()
+	within := func(name string, got int64, rate float64) {
+		want := rate * n
+		if float64(got) < want*0.7 || float64(got) > want*1.3 {
+			t.Errorf("%s count %d, want ~%.0f", name, got, want)
+		}
+	}
+	within("SEU", seus, cfg.SEURate)
+	within("stuck", stucks, cfg.StuckRate)
+	within("SEL", sels, cfg.SELRate)
+	within("SFI", sfis, cfg.SFIRate)
+}
+
+func TestTickReportsFaultClasses(t *testing.T) {
+	cfg := StableConfig("m", 8)
+	cfg.SEURate = 1.0
+	d := newDev(t, cfg)
+	fs := d.Tick()
+	if len(fs) != 1 {
+		t.Fatalf("got %d faults, want 1", len(fs))
+	}
+	if fs[0].Effect != faults.BitFlip || fs[0].Class != faults.Transient {
+		t.Fatalf("fault = %v", fs[0])
+	}
+}
+
+func TestConfigEffects(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		want []faults.Effect
+	}{
+		{"stable", StableConfig("s", 8), nil},
+		{"cmos", CMOSConfig("c", 8), []faults.Effect{faults.BitFlip}},
+		{"aged", AgedCMOSConfig("a", 8), []faults.Effect{faults.BitFlip, faults.StuckAt}},
+		{"sdram", SDRAMConfig("d", 8), []faults.Effect{faults.BitFlip, faults.LatchUp}},
+		{"harsh", HarshSDRAMConfig("h", 8), []faults.Effect{faults.BitFlip, faults.LatchUp, faults.FunctionalInterrupt}},
+	}
+	for _, tt := range tests {
+		got := tt.cfg.Effects()
+		if len(got) != len(tt.want) {
+			t.Errorf("%s: Effects() = %v, want %v", tt.name, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("%s: Effects()[%d] = %v, want %v", tt.name, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	cfg := SDRAMConfig("s", 8)
+	scaled := cfg.Scale(10)
+	if scaled.SEURate != cfg.SEURate*10 || scaled.SELRate != cfg.SELRate*10 {
+		t.Fatalf("Scale(10) wrong: %+v", scaled)
+	}
+	if scaled.Words != cfg.Words {
+		t.Fatal("Scale changed geometry")
+	}
+}
+
+func TestTechnologyString(t *testing.T) {
+	if CMOS.String() != "CMOS" || SDRAM.String() != "SDRAM" {
+		t.Fatal("technology names wrong")
+	}
+	if Technology(9).String() != "Technology(9)" {
+		t.Fatal("unknown technology name wrong")
+	}
+}
+
+func TestDeterministicTicks(t *testing.T) {
+	run := func() [4]int64 {
+		d, err := New(HarshSDRAMConfig("h", 64), xrand.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5000; i++ {
+			d.Tick()
+			if d.Halted() {
+				d.PowerReset()
+			}
+		}
+		seus, stucks, sels, sfis := d.Stats()
+		return [4]int64{seus, stucks, sels, sfis}
+	}
+	if run() != run() {
+		t.Fatal("device fault injection nondeterministic for equal seeds")
+	}
+}

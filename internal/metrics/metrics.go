@@ -1,0 +1,238 @@
+// Package metrics provides the counters, histograms, and time series used
+// by the experiment harnesses, plus minimal ASCII rendering so the bench
+// binaries can print the same artefacts the paper's figures show
+// (Fig. 6 is a time series of redundancy; Fig. 7 is a log-scale histogram
+// of redundancy degrees).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	n int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta, which must be non-negative.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: Counter.Add with negative delta")
+	}
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// IntHistogram counts occurrences of integer-valued observations, such as
+// the redundancy degree in use at each simulated time step (Fig. 7).
+type IntHistogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewIntHistogram returns an empty histogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{counts: make(map[int]int64)}
+}
+
+// Observe records one occurrence of v.
+func (h *IntHistogram) Observe(v int) { h.ObserveN(v, 1) }
+
+// ObserveN records n occurrences of v.
+func (h *IntHistogram) ObserveN(v int, n int64) {
+	if n < 0 {
+		panic("metrics: ObserveN with negative count")
+	}
+	h.counts[v] += n
+	h.total += n
+}
+
+// Total returns the number of observations.
+func (h *IntHistogram) Total() int64 { return h.total }
+
+// Count returns the number of observations equal to v.
+func (h *IntHistogram) Count(v int) int64 { return h.counts[v] }
+
+// Fraction returns the fraction of observations equal to v, or 0 if the
+// histogram is empty.
+func (h *IntHistogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// Values returns the observed values in ascending order.
+func (h *IntHistogram) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// RenderLog renders the histogram with log10-scaled bars, one row per
+// observed value, mirroring the logarithmic scale of the paper's Fig. 7.
+func (h *IntHistogram) RenderLog(label string, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (total %d observations, log scale)\n", label, h.total)
+	maxLog := 0.0
+	for _, v := range h.Values() {
+		if l := math.Log10(float64(h.counts[v]) + 1); l > maxLog {
+			maxLog = l
+		}
+	}
+	for _, v := range h.Values() {
+		n := h.counts[v]
+		l := math.Log10(float64(n) + 1)
+		bar := 0
+		if maxLog > 0 {
+			bar = int(l / maxLog * float64(width))
+		}
+		fmt.Fprintf(&b, "  %4d | %-*s %d (%.5f%%)\n",
+			v, width, strings.Repeat("#", bar), n, 100*h.Fraction(v))
+	}
+	return b.String()
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	Time  int64
+	Value float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name}
+}
+
+// Append adds a sample. Samples should be appended in non-decreasing time
+// order; this is not enforced, but rendering assumes it.
+func (s *Series) Append(t int64, v float64) {
+	s.points = append(s.points, Point{Time: t, Value: v})
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.points) }
+
+// Points returns a copy of the samples.
+func (s *Series) Points() []Point {
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// At returns the i-th sample.
+func (s *Series) At(i int) Point { return s.points[i] }
+
+// Min returns the minimum value, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	m := s.points[0].Value
+	for _, p := range s.points[1:] {
+		if p.Value < m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Max returns the maximum value, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	m := s.points[0].Value
+	for _, p := range s.points[1:] {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Downsample returns a series with at most n points, taking the maximum
+// value within each bucket (the interesting excursions in Fig. 6 are the
+// redundancy spikes, which max-pooling preserves).
+func (s *Series) Downsample(n int) *Series {
+	if n <= 0 || len(s.points) <= n {
+		out := NewSeries(s.Name)
+		out.points = s.Points()
+		return out
+	}
+	out := NewSeries(s.Name)
+	bucket := (len(s.points) + n - 1) / n
+	for i := 0; i < len(s.points); i += bucket {
+		end := i + bucket
+		if end > len(s.points) {
+			end = len(s.points)
+		}
+		best := s.points[i]
+		for _, p := range s.points[i+1 : end] {
+			if p.Value > best.Value {
+				best = p
+			}
+		}
+		out.points = append(out.points, best)
+	}
+	return out
+}
+
+// Render draws the series as a rows x cols ASCII chart.
+func (s *Series) Render(rows, cols int) string {
+	if rows <= 0 {
+		rows = 10
+	}
+	if cols <= 0 {
+		cols = 60
+	}
+	if len(s.points) == 0 {
+		return s.Name + " (empty)\n"
+	}
+	ds := s.Downsample(cols)
+	lo, hi := s.Min(), s.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", ds.Len()))
+	}
+	for c := 0; c < ds.Len(); c++ {
+		v := ds.points[c].Value
+		r := int((v - lo) / (hi - lo) * float64(rows-1))
+		grid[rows-1-r][c] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (min %.3g, max %.3g, %d samples)\n", s.Name, lo, hi, len(s.points))
+	for r, row := range grid {
+		var axis float64
+		if rows > 1 {
+			axis = hi - (hi-lo)*float64(r)/float64(rows-1)
+		} else {
+			axis = hi
+		}
+		fmt.Fprintf(&b, "%8.3g |%s\n", axis, string(row))
+	}
+	return b.String()
+}

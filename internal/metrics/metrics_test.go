@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Counter = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewIntHistogram()
+	h.Observe(3)
+	h.Observe(3)
+	h.ObserveN(5, 8)
+	if h.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", h.Total())
+	}
+	if h.Count(3) != 2 || h.Count(5) != 8 || h.Count(7) != 0 {
+		t.Fatalf("counts wrong: 3=%d 5=%d 7=%d", h.Count(3), h.Count(5), h.Count(7))
+	}
+	if got := h.Fraction(5); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("Fraction(5) = %v, want 0.8", got)
+	}
+	vs := h.Values()
+	if len(vs) != 2 || vs[0] != 3 || vs[1] != 5 {
+		t.Fatalf("Values() = %v", vs)
+	}
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewIntHistogram()
+	if h.Fraction(1) != 0 {
+		t.Fatal("empty histogram Fraction != 0")
+	}
+}
+
+func TestHistogramNegativeNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ObserveN(-1) did not panic")
+		}
+	}()
+	NewIntHistogram().ObserveN(1, -1)
+}
+
+func TestHistogramRenderLog(t *testing.T) {
+	h := NewIntHistogram()
+	h.ObserveN(3, 1000000)
+	h.ObserveN(5, 100)
+	h.ObserveN(7, 10)
+	out := h.RenderLog("redundancy", 40)
+	if !strings.Contains(out, "redundancy") {
+		t.Fatal("render missing label")
+	}
+	for _, want := range []string{"3 |", "5 |", "7 |", "1000000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Log scale: the bar for 1e6 should not dwarf the bar for 10 by 1e5x.
+	lines := strings.Split(out, "\n")
+	var bar3, bar7 int
+	for _, l := range lines {
+		hashes := strings.Count(l, "#")
+		if strings.Contains(l, "   3 |") {
+			bar3 = hashes
+		}
+		if strings.Contains(l, "   7 |") {
+			bar7 = hashes
+		}
+	}
+	if bar3 == 0 || bar7 == 0 {
+		t.Fatalf("bars missing (bar3=%d bar7=%d):\n%s", bar3, bar7, out)
+	}
+	if bar3 > bar7*10 {
+		t.Fatalf("bars not log scaled: bar3=%d bar7=%d", bar3, bar7)
+	}
+}
+
+func TestSeriesMinMax(t *testing.T) {
+	s := NewSeries("x")
+	for i, v := range []float64{3, 9, 1, 7} {
+		s.Append(int64(i), v)
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 1/9", s.Min(), s.Max())
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if p := s.At(1); p.Time != 1 || p.Value != 9 {
+		t.Fatalf("At(1) = %+v", p)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewSeries("e")
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty series Min/Max not 0")
+	}
+	if out := s.Render(5, 10); !strings.Contains(out, "empty") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestDownsamplePreservesSpikes(t *testing.T) {
+	s := NewSeries("spiky")
+	for i := 0; i < 1000; i++ {
+		v := 3.0
+		if i == 500 {
+			v = 9.0 // a single spike
+		}
+		s.Append(int64(i), v)
+	}
+	ds := s.Downsample(20)
+	if ds.Len() > 20 {
+		t.Fatalf("Downsample(20) kept %d points", ds.Len())
+	}
+	if ds.Max() != 9 {
+		t.Fatal("downsampling lost the spike (must max-pool)")
+	}
+}
+
+func TestDownsampleNoOpWhenSmall(t *testing.T) {
+	s := NewSeries("small")
+	s.Append(0, 1)
+	s.Append(1, 2)
+	ds := s.Downsample(10)
+	if ds.Len() != 2 {
+		t.Fatalf("Downsample grew/shrank a small series: %d", ds.Len())
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("r")
+	for i := 0; i < 100; i++ {
+		s.Append(int64(i), float64(i%10))
+	}
+	out := s.Render(5, 40)
+	if !strings.Contains(out, "r (min 0") {
+		t.Fatalf("render header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("render has no data points")
+	}
+}
+
+func TestPointsReturnsCopy(t *testing.T) {
+	s := NewSeries("c")
+	s.Append(0, 1)
+	pts := s.Points()
+	pts[0].Value = 99
+	if s.At(0).Value != 1 {
+		t.Fatal("Points() exposed internal state")
+	}
+}
+
+// Property: histogram fractions always sum to ~1 for non-empty histograms.
+func TestFractionSumProperty(t *testing.T) {
+	f := func(obs []uint8) bool {
+		if len(obs) == 0 {
+			return true
+		}
+		h := NewIntHistogram()
+		for _, o := range obs {
+			h.Observe(int(o) % 8)
+		}
+		sum := 0.0
+		for _, v := range h.Values() {
+			sum += h.Fraction(v)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: downsampled max equals original max (max-pooling invariant).
+func TestDownsampleMaxProperty(t *testing.T) {
+	f := func(vals []float64, n uint8) bool {
+		s := NewSeries("p")
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s.Append(int64(i), v)
+		}
+		ds := s.Downsample(int(n%50) + 1)
+		if s.Len() == 0 {
+			return ds.Len() == 0
+		}
+		return ds.Max() == s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

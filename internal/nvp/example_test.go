@@ -1,0 +1,29 @@
+package nvp_test
+
+import (
+	"fmt"
+
+	"aft/internal/nvp"
+)
+
+// ExampleExecutor shows the paper's footnote in action: the diverse
+// scheme masks a design fault that pure replication votes into the
+// result.
+func ExampleExecutor() {
+	good := func(v uint64) (uint64, error) { return v * v, nil }
+	buggy := func(v uint64) (uint64, error) {
+		if v%7 == 0 {
+			return v*v + 1, nil // design fault
+		}
+		return v * v, nil
+	}
+
+	diverse, _ := nvp.New(good, good, buggy)
+	replicated, _ := nvp.Replicate(3, buggy)
+
+	d := diverse.Invoke(14)
+	r := replicated.Invoke(14)
+	fmt.Printf("diverse: %d, replicated: %d\n", d.Value, r.Value)
+	// Output:
+	// diverse: 196, replicated: 197
+}

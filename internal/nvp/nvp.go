@@ -1,0 +1,137 @@
+// Package nvp implements N-Version Programming, the design-diversity
+// scheme the paper's §3.3 footnote requires: "Obviously simple
+// replication would not suffice to tolerate design faults, in which case
+// a design diversity scheme such as N-Version Programming would be
+// required" (citing Avižienis 1985).
+//
+// An Executor runs N independently designed versions of a computation
+// and adjudicates their outputs by strict majority. Unlike the voting
+// farm of package voting — which replicates *one* method and masks
+// physical faults — NVP masks *design* faults, provided the versions'
+// bugs are independent and a majority of versions is correct on each
+// input.
+package nvp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Version is one independently designed implementation of the
+// computation. It returns an error when it cannot produce an output
+// (crash-style design fault); wrong-output design faults simply return
+// a wrong value.
+type Version func(input uint64) (uint64, error)
+
+// ErrNoMajority reports an adjudication failure: no output value was
+// produced by a strict majority of versions.
+var ErrNoMajority = errors.New("nvp: no majority among version outputs")
+
+// Result reports one NVP invocation.
+type Result struct {
+	// Value is the adjudicated output when OK.
+	Value uint64
+	// OK reports whether a strict majority agreed.
+	OK bool
+	// Agreement is the number of versions backing Value.
+	Agreement int
+	// Crashed is the number of versions that returned an error.
+	Crashed int
+	// DTOF is the distance-to-failure of the adjudication, in the
+	// paper's §3.3 sense: ceil(n/2) − dissenters, 0 without a majority.
+	DTOF int
+}
+
+// Executor runs a fixed set of diverse versions.
+type Executor struct {
+	versions []Version
+
+	invocations int64
+	failures    int64
+}
+
+// New builds an executor. At least three versions are required for the
+// scheme to mask any single faulty version, and the count must be odd
+// so that strict majority is well-defined under full participation.
+func New(versions ...Version) (*Executor, error) {
+	if len(versions) < 3 {
+		return nil, fmt.Errorf("nvp: need at least 3 versions, got %d", len(versions))
+	}
+	if len(versions)%2 == 0 {
+		return nil, fmt.Errorf("nvp: need an odd number of versions, got %d", len(versions))
+	}
+	for i, v := range versions {
+		if v == nil {
+			return nil, fmt.Errorf("nvp: version %d is nil", i)
+		}
+	}
+	vs := make([]Version, len(versions))
+	copy(vs, versions)
+	return &Executor{versions: vs}, nil
+}
+
+// N reports the number of versions.
+func (e *Executor) N() int { return len(e.versions) }
+
+// Invoke runs every version on the input and adjudicates.
+func (e *Executor) Invoke(input uint64) Result {
+	e.invocations++
+	counts := make(map[uint64]int, 2)
+	res := Result{}
+	for _, v := range e.versions {
+		out, err := v(input)
+		if err != nil {
+			res.Crashed++
+			continue
+		}
+		counts[out]++
+	}
+	bestVal, bestCount := uint64(0), 0
+	for v, c := range counts {
+		if c > bestCount {
+			bestVal, bestCount = v, c
+		}
+	}
+	n := len(e.versions)
+	if bestCount > n/2 {
+		res.OK = true
+		res.Value = bestVal
+		res.Agreement = bestCount
+		res.DTOF = (n+1)/2 - (n - bestCount)
+		if res.DTOF < 0 {
+			res.DTOF = 0
+		}
+	}
+	if !res.OK {
+		e.failures++
+	}
+	return res
+}
+
+// InvokeErr is Invoke with an error return for callers that prefer the
+// idiomatic signature.
+func (e *Executor) InvokeErr(input uint64) (uint64, error) {
+	res := e.Invoke(input)
+	if !res.OK {
+		return 0, fmt.Errorf("%w (crashed %d of %d)", ErrNoMajority, res.Crashed, e.N())
+	}
+	return res.Value, nil
+}
+
+// Stats reports the cumulative invocation and adjudication-failure
+// counts.
+func (e *Executor) Stats() (invocations, failures int64) {
+	return e.invocations, e.failures
+}
+
+// Replicate builds an "NVP" executor from n copies of a single version:
+// the degenerate scheme the paper's footnote warns about. It exists so
+// tests and benchmarks can demonstrate *why* diversity is required —
+// replicated design faults vote together.
+func Replicate(n int, v Version) (*Executor, error) {
+	vs := make([]Version, n)
+	for i := range vs {
+		vs[i] = v
+	}
+	return New(vs...)
+}

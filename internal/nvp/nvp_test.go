@@ -1,0 +1,207 @@
+package nvp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// square versions: three independently designed implementations, one of
+// which carries a design fault on a subset of inputs.
+func goodSquare(v uint64) (uint64, error) { return v * v, nil }
+
+func shiftSquare(v uint64) (uint64, error) {
+	// A "diverse design": repeated addition for small inputs, and the
+	// multiply for large ones. Functionally identical, structurally
+	// different.
+	if v < 1000 {
+		var acc uint64
+		for i := uint64(0); i < v; i++ {
+			acc += v
+		}
+		return acc, nil
+	}
+	return v * v, nil
+}
+
+// buggySquare has a design fault: off by one for multiples of 7.
+func buggySquare(v uint64) (uint64, error) {
+	if v%7 == 0 {
+		return v*v + 1, nil
+	}
+	return v * v, nil
+}
+
+// crashySquare crashes on even inputs.
+func crashySquare(v uint64) (uint64, error) {
+	if v%2 == 0 {
+		return 0, errors.New("design fault: even inputs unhandled")
+	}
+	return v * v, nil
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(goodSquare, shiftSquare); err == nil {
+		t.Fatal("2 versions accepted")
+	}
+	if _, err := New(goodSquare, shiftSquare, buggySquare, crashySquare); err == nil {
+		t.Fatal("even version count accepted")
+	}
+	if _, err := New(goodSquare, nil, buggySquare); err == nil {
+		t.Fatal("nil version accepted")
+	}
+	e, err := New(goodSquare, shiftSquare, buggySquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 3 {
+		t.Fatalf("N = %d", e.N())
+	}
+}
+
+func TestMasksSingleDesignFault(t *testing.T) {
+	e, err := New(goodSquare, shiftSquare, buggySquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input 14 triggers buggySquare's fault; the two healthy versions
+	// outvote it.
+	res := e.Invoke(14)
+	if !res.OK || res.Value != 196 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Agreement != 2 {
+		t.Fatalf("agreement = %d, want 2", res.Agreement)
+	}
+	// DTOF: n=3, one dissenter -> 2-1 = 1.
+	if res.DTOF != 1 {
+		t.Fatalf("dtof = %d, want 1", res.DTOF)
+	}
+}
+
+func TestMasksCrashFault(t *testing.T) {
+	e, err := New(goodSquare, shiftSquare, crashySquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Invoke(4)
+	if !res.OK || res.Value != 16 || res.Crashed != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	v, err := e.InvokeErr(4)
+	if err != nil || v != 16 {
+		t.Fatalf("InvokeErr = %d, %v", v, err)
+	}
+}
+
+func TestConsensusDTOFMax(t *testing.T) {
+	e, err := New(goodSquare, shiftSquare, goodSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Invoke(5)
+	if res.DTOF != 2 {
+		t.Fatalf("consensus dtof = %d, want 2", res.DTOF)
+	}
+}
+
+// TestReplicationDoesNotMaskDesignFaults is the paper's footnote as a
+// test: replicating one buggy version N times makes the bug win the
+// vote unanimously.
+func TestReplicationDoesNotMaskDesignFaults(t *testing.T) {
+	replicated, err := Replicate(3, buggySquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := replicated.Invoke(14) // 14*14 = 196; the bug says 197
+	if !res.OK {
+		t.Fatal("replicated scheme lost majority?!")
+	}
+	if res.Value == 196 {
+		t.Fatal("replication masked a design fault; the footnote's point is broken")
+	}
+	if res.Value != 197 {
+		t.Fatalf("value = %d", res.Value)
+	}
+
+	// The diverse scheme on the same input gets it right.
+	diverse, err := New(goodSquare, shiftSquare, buggySquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := diverse.Invoke(14); !got.OK || got.Value != 196 {
+		t.Fatalf("diverse scheme = %+v", got)
+	}
+}
+
+func TestNoMajority(t *testing.T) {
+	// Three versions disagreeing three ways.
+	e, err := New(
+		func(v uint64) (uint64, error) { return v, nil },
+		func(v uint64) (uint64, error) { return v + 1, nil },
+		func(v uint64) (uint64, error) { return v + 2, nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Invoke(10)
+	if res.OK || res.DTOF != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if _, err := e.InvokeErr(10); !errors.Is(err, ErrNoMajority) {
+		t.Fatalf("err = %v", err)
+	}
+	_, failures := e.Stats()
+	if failures != 2 {
+		t.Fatalf("failures = %d, want 2", failures)
+	}
+}
+
+func TestMajorityCrashLosesQuorum(t *testing.T) {
+	e, err := New(crashySquare, crashySquare, goodSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even input: two versions crash; the survivor alone is not a
+	// strict majority of 3... it is 1 of 3: no.
+	res := e.Invoke(8)
+	if res.OK {
+		t.Fatalf("single survivor won a majority: %+v", res)
+	}
+	if res.Crashed != 2 {
+		t.Fatalf("crashed = %d", res.Crashed)
+	}
+}
+
+// Property: with at most one faulty version of 5, adjudication always
+// returns the correct square.
+func TestSingleFaultMaskedProperty(t *testing.T) {
+	f := func(input uint64, faultyIdx uint8) bool {
+		input %= 1_000_000
+		versions := make([]Version, 5)
+		for i := range versions {
+			versions[i] = goodSquare
+		}
+		versions[faultyIdx%5] = buggySquare
+		e, err := New(versions...)
+		if err != nil {
+			return false
+		}
+		res := e.Invoke(input)
+		return res.OK && res.Value == input*input
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInvoke3Versions(b *testing.B) {
+	e, err := New(goodSquare, shiftSquare, buggySquare)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Invoke(uint64(i)%997 + 1000)
+	}
+}

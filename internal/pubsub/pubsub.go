@@ -1,0 +1,149 @@
+// Package pubsub provides the publish/subscribe notification bus used by
+// the adaptation middleware of §3.2: "Through e.g. publish/subscribe, the
+// supporting middleware component receives notifications regarding the
+// faults being detected by the main components of the software system."
+//
+// Delivery is synchronous and in subscription order, which keeps the
+// simulated experiments fully deterministic; the bus is nevertheless safe
+// for concurrent use by live components.
+package pubsub
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Message is one published notification.
+type Message struct {
+	// Topic is a slash-separated subject, e.g. "faults/c3".
+	Topic string
+	// Time is the virtual time of the event.
+	Time int64
+	// Payload is the event body.
+	Payload any
+}
+
+// Handler consumes messages.
+type Handler func(Message)
+
+// Subscription identifies an active subscription.
+type Subscription struct {
+	id      uint64
+	pattern string
+}
+
+// Pattern returns the topic pattern the subscription was created with.
+func (s *Subscription) Pattern() string { return s.pattern }
+
+// Bus is a topic-based publish/subscribe broker.
+type Bus struct {
+	mu     sync.Mutex
+	nextID uint64
+	subs   []subEntry
+
+	published int64
+	delivered int64
+}
+
+type subEntry struct {
+	id      uint64
+	pattern string
+	fn      Handler
+}
+
+// New returns an empty bus.
+func New() *Bus {
+	return &Bus{}
+}
+
+// Subscribe registers fn for every message whose topic matches pattern.
+// A pattern matches its exact topic; a trailing "/*" matches any
+// descendant (e.g. "faults/*" matches "faults/c3"); "*" matches
+// everything.
+func (b *Bus) Subscribe(pattern string, fn Handler) *Subscription {
+	if fn == nil {
+		panic("pubsub: Subscribe with nil handler")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	b.subs = append(b.subs, subEntry{id: b.nextID, pattern: pattern, fn: fn})
+	return &Subscription{id: b.nextID, pattern: pattern}
+}
+
+// Unsubscribe removes a subscription. It reports whether the
+// subscription was active.
+func (b *Bus) Unsubscribe(s *Subscription) bool {
+	if s == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, e := range b.subs {
+		if e.id == s.id {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Publish delivers msg synchronously to every matching subscriber in
+// subscription order and returns the number of deliveries.
+func (b *Bus) Publish(msg Message) int {
+	b.mu.Lock()
+	matching := make([]Handler, 0, 4)
+	for _, e := range b.subs {
+		if topicMatches(e.pattern, msg.Topic) {
+			matching = append(matching, e.fn)
+		}
+	}
+	b.published++
+	b.delivered += int64(len(matching))
+	b.mu.Unlock()
+
+	for _, fn := range matching {
+		fn(msg)
+	}
+	return len(matching)
+}
+
+// Stats reports how many messages were published and delivered.
+func (b *Bus) Stats() (published, delivered int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published, b.delivered
+}
+
+// SubscriberCount reports the number of active subscriptions.
+func (b *Bus) SubscriberCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// topicMatches implements the pattern language.
+func topicMatches(pattern, topic string) bool {
+	if pattern == "*" || pattern == topic {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pattern, "/*"); ok {
+		return strings.HasPrefix(topic, prefix+"/")
+	}
+	return false
+}
+
+// Validate checks a topic for well-formedness: non-empty, no blank
+// segments.
+func Validate(topic string) error {
+	if topic == "" {
+		return fmt.Errorf("pubsub: empty topic")
+	}
+	for _, seg := range strings.Split(topic, "/") {
+		if seg == "" {
+			return fmt.Errorf("pubsub: topic %q has an empty segment", topic)
+		}
+	}
+	return nil
+}

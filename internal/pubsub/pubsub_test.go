@@ -1,0 +1,166 @@
+package pubsub
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestExactDelivery(t *testing.T) {
+	b := New()
+	var got []Message
+	b.Subscribe("faults/c3", func(m Message) { got = append(got, m) })
+	n := b.Publish(Message{Topic: "faults/c3", Time: 1, Payload: "boom"})
+	if n != 1 || len(got) != 1 {
+		t.Fatalf("delivered %d, captured %d", n, len(got))
+	}
+	if got[0].Payload != "boom" {
+		t.Fatalf("payload = %v", got[0].Payload)
+	}
+	if n := b.Publish(Message{Topic: "faults/c4"}); n != 0 {
+		t.Fatalf("unrelated topic delivered %d times", n)
+	}
+}
+
+func TestWildcardDelivery(t *testing.T) {
+	b := New()
+	all, faults := 0, 0
+	b.Subscribe("*", func(Message) { all++ })
+	b.Subscribe("faults/*", func(Message) { faults++ })
+	b.Publish(Message{Topic: "faults/c1"})
+	b.Publish(Message{Topic: "faults/deep/child"})
+	b.Publish(Message{Topic: "votes/round"})
+	if all != 3 {
+		t.Fatalf("star subscriber saw %d, want 3", all)
+	}
+	if faults != 2 {
+		t.Fatalf("faults/* subscriber saw %d, want 2", faults)
+	}
+}
+
+func TestWildcardDoesNotMatchBareParent(t *testing.T) {
+	b := New()
+	n := 0
+	b.Subscribe("faults/*", func(Message) { n++ })
+	b.Publish(Message{Topic: "faults"})
+	if n != 0 {
+		t.Fatal("faults/* matched bare 'faults'")
+	}
+}
+
+func TestDeliveryOrderIsSubscriptionOrder(t *testing.T) {
+	b := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		b.Subscribe("t", func(Message) { order = append(order, i) })
+	}
+	b.Publish(Message{Topic: "t"})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("delivery order %v", order)
+		}
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := New()
+	n := 0
+	sub := b.Subscribe("t", func(Message) { n++ })
+	b.Publish(Message{Topic: "t"})
+	if !b.Unsubscribe(sub) {
+		t.Fatal("Unsubscribe returned false for active subscription")
+	}
+	b.Publish(Message{Topic: "t"})
+	if n != 1 {
+		t.Fatalf("handler ran %d times, want 1", n)
+	}
+	if b.Unsubscribe(sub) {
+		t.Fatal("double Unsubscribe returned true")
+	}
+	if b.Unsubscribe(nil) {
+		t.Fatal("Unsubscribe(nil) returned true")
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler accepted")
+		}
+	}()
+	New().Subscribe("t", nil)
+}
+
+func TestStats(t *testing.T) {
+	b := New()
+	b.Subscribe("a", func(Message) {})
+	b.Subscribe("*", func(Message) {})
+	b.Publish(Message{Topic: "a"})
+	b.Publish(Message{Topic: "b"})
+	pub, del := b.Stats()
+	if pub != 2 || del != 3 {
+		t.Fatalf("Stats = %d published, %d delivered; want 2, 3", pub, del)
+	}
+	if b.SubscriberCount() != 2 {
+		t.Fatalf("SubscriberCount = %d", b.SubscriberCount())
+	}
+}
+
+func TestPublishDuringHandlerDoesNotDeadlock(t *testing.T) {
+	b := New()
+	n := 0
+	b.Subscribe("first", func(Message) {
+		b.Publish(Message{Topic: "second"})
+	})
+	b.Subscribe("second", func(Message) { n++ })
+	b.Publish(Message{Topic: "first"})
+	if n != 1 {
+		t.Fatalf("nested publish delivered %d times", n)
+	}
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	b := New()
+	var mu sync.Mutex
+	n := 0
+	b.Subscribe("t", func(Message) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Publish(Message{Topic: "t"})
+			}
+		}()
+	}
+	wg.Wait()
+	if n != 4000 {
+		t.Fatalf("concurrent publishes delivered %d, want 4000", n)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, good := range []string{"a", "a/b", "faults/c3/deep"} {
+		if err := Validate(good); err != nil {
+			t.Errorf("Validate(%q) = %v", good, err)
+		}
+	}
+	for _, bad := range []string{"", "/", "a//b", "a/", "/a"} {
+		if err := Validate(bad); err == nil {
+			t.Errorf("Validate(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSubscriptionPattern(t *testing.T) {
+	b := New()
+	sub := b.Subscribe("x/*", func(Message) {})
+	if sub.Pattern() != "x/*" {
+		t.Fatalf("Pattern() = %q", sub.Pattern())
+	}
+}

@@ -1,0 +1,95 @@
+package redundancy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aft/internal/voting"
+	"aft/internal/xrand"
+)
+
+// Property: under any sequence of outcomes, the controller's N stays
+// odd and within [Min, Max], and quiet streaks never exceed LowerAfter.
+func TestControllerInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, steps uint8) bool {
+		p := Policy{Min: 3, Max: 11, CriticalDTOF: 1, Step: 2, LowerAfter: 7}
+		c, err := NewController(p, 3)
+		if err != nil {
+			return false
+		}
+		rng := xrand.New(seed)
+		for i := 0; i < int(steps)+50; i++ {
+			n := c.N()
+			dissent := rng.Intn(n + 1)
+			c.Observe(outcome(n, dissent))
+			if c.N() < p.Min || c.N() > p.Max || c.N()%2 == 0 {
+				return false
+			}
+			if c.QuietRuns() >= p.LowerAfter {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the controller never lowers redundancy in the same round it
+// observed dissent, for any outcome stream.
+func TestNoLoweringUnderDissentProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := Policy{Min: 3, Max: 9, CriticalDTOF: 1, Step: 2, LowerAfter: 5}
+		c, err := NewController(p, 9)
+		if err != nil {
+			return false
+		}
+		rng := xrand.New(seed)
+		for i := 0; i < 200; i++ {
+			dissent := rng.Intn(c.N() + 1)
+			dir, changed := c.Observe(outcome(c.N(), dissent))
+			if changed && dir == Lower && dissent != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the switchboard's farm size always equals the controller's
+// target after every step — the signed-message transport loses nothing.
+func TestSwitchboardCoherenceProperty(t *testing.T) {
+	f := func(seed uint64, steps uint8) bool {
+		farm, err := voting.NewFarm(3, func(v uint64) uint64 { return v })
+		if err != nil {
+			return false
+		}
+		sb, err := NewSwitchboard(farm, Policy{
+			Min: 3, Max: 9, CriticalDTOF: 1, Step: 2, LowerAfter: 4,
+		}, []byte("coherence"))
+		if err != nil {
+			return false
+		}
+		rng := xrand.New(seed)
+		for i := 0; i < int(steps)+20; i++ {
+			k := rng.Intn(3) // 0..2 corrupted replicas
+			var corrupted func(int) bool
+			if k > 0 {
+				kk := k
+				corrupted = func(j int) bool { return j < kk }
+			}
+			sb.Step(uint64(i), corrupted, rng)
+			if farm.N() != sb.Controller().N() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

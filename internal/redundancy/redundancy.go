@@ -1,0 +1,271 @@
+// Package redundancy implements the paper's "Reflective Switchboards"
+// (§3.3): an autonomic controller that revises the dimensioning of a
+// replication-and-voting scheme at run time, turning a fixed-redundancy
+// Boulding "Thermostat" into a self-maintaining "Cell".
+//
+// The policy is the one the paper states:
+//
+//   - "When dtof is critically low, the Reflective Switchboards request
+//     the replication system to increase the number of redundant
+//     replicas."
+//   - "When dtof is high for a certain amount of consecutive runs — 1000
+//     runs in our experiments — a request to lower the number of
+//     replicas is issued."
+//
+// Revisions travel as authenticated resize messages ("secure messages
+// that ask to raise or lower the current number of replicas"),
+// implemented with HMAC-SHA256.
+package redundancy
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"aft/internal/voting"
+	"aft/internal/xrand"
+)
+
+// Policy parameterizes the controller.
+type Policy struct {
+	// Min and Max bound the replica count; both must be odd.
+	Min, Max int
+	// CriticalDTOF triggers a raise when a round's dtof is at or below
+	// it.
+	CriticalDTOF int
+	// Step is how many replicas a raise adds or a lowering removes;
+	// must be even to preserve oddness.
+	Step int
+	// LowerAfter is the number of consecutive full-consensus rounds
+	// before a lowering is issued (1000 in the paper's experiments).
+	LowerAfter int
+}
+
+// DefaultPolicy mirrors the paper's experiment: redundancy 3–9,
+// raise on dtof ≤ 1, lower after 1000 quiet runs.
+func DefaultPolicy() Policy {
+	return Policy{Min: 3, Max: 9, CriticalDTOF: 1, Step: 2, LowerAfter: 1000}
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	if p.Min <= 0 || p.Min%2 == 0 {
+		return fmt.Errorf("redundancy: Min %d must be positive and odd", p.Min)
+	}
+	if p.Max < p.Min || p.Max%2 == 0 {
+		return fmt.Errorf("redundancy: Max %d must be odd and >= Min %d", p.Max, p.Min)
+	}
+	if p.CriticalDTOF < 0 {
+		return fmt.Errorf("redundancy: CriticalDTOF %d must be non-negative", p.CriticalDTOF)
+	}
+	if p.Step <= 0 || p.Step%2 != 0 {
+		return fmt.Errorf("redundancy: Step %d must be positive and even", p.Step)
+	}
+	if p.LowerAfter <= 0 {
+		return fmt.Errorf("redundancy: LowerAfter %d must be positive", p.LowerAfter)
+	}
+	return nil
+}
+
+// Direction of a resize request.
+type Direction int
+
+// Directions.
+const (
+	Raise Direction = iota + 1
+	Lower
+)
+
+// String returns the direction name.
+func (d Direction) String() string {
+	switch d {
+	case Raise:
+		return "raise"
+	case Lower:
+		return "lower"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Controller implements the dtof policy. It is deliberately free of any
+// knowledge of the voting organ: it deduces and publishes resize
+// decisions, which the Switchboard transports as signed messages.
+type Controller struct {
+	policy Policy
+	n      int
+	quiet  int
+
+	raises, lowers int64
+}
+
+// NewController builds a controller starting at initial replicas.
+func NewController(policy Policy, initial int) (*Controller, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if initial < policy.Min || initial > policy.Max || initial%2 == 0 {
+		return nil, fmt.Errorf("redundancy: initial %d out of [%d,%d] or even",
+			initial, policy.Min, policy.Max)
+	}
+	return &Controller{policy: policy, n: initial}, nil
+}
+
+// N reports the controller's current target replica count.
+func (c *Controller) N() int { return c.n }
+
+// QuietRuns reports the current streak of consecutive full-consensus
+// rounds.
+func (c *Controller) QuietRuns() int { return c.quiet }
+
+// Stats reports the cumulative number of raise and lower decisions.
+func (c *Controller) Stats() (raises, lowers int64) { return c.raises, c.lowers }
+
+// Observe feeds one voting outcome. It returns the direction of a
+// resize request when one is issued, or 0 when the dimensioning stands.
+func (c *Controller) Observe(o voting.Outcome) (Direction, bool) {
+	if o.DTOF <= c.policy.CriticalDTOF {
+		// Critically close to failure: ask for more redundancy.
+		c.quiet = 0
+		if c.n < c.policy.Max {
+			c.n += c.policy.Step
+			if c.n > c.policy.Max {
+				c.n = c.policy.Max
+			}
+			c.raises++
+			return Raise, true
+		}
+		return 0, false
+	}
+	if o.Dissent == 0 {
+		// Full consensus: the paper's "dtof is high".
+		c.quiet++
+		if c.quiet >= c.policy.LowerAfter {
+			c.quiet = 0
+			if c.n > c.policy.Min {
+				c.n -= c.policy.Step
+				if c.n < c.policy.Min {
+					c.n = c.policy.Min
+				}
+				c.lowers++
+				return Lower, true
+			}
+		}
+		return 0, false
+	}
+	// Some dissent, but not critical: reset the quiet streak.
+	c.quiet = 0
+	return 0, false
+}
+
+// --- Secure resize messages -------------------------------------------
+
+// ResizeRequest is the authenticated message carrying a dimensioning
+// revision.
+type ResizeRequest struct {
+	// NewN is the requested replica count.
+	NewN int
+	// Direction documents why the revision was issued.
+	Direction Direction
+	// Nonce makes each message unique.
+	Nonce uint64
+	// MAC is the HMAC-SHA256 tag over (NewN, Direction, Nonce).
+	MAC []byte
+}
+
+// ErrBadMAC reports a resize request failing authentication.
+var ErrBadMAC = errors.New("redundancy: resize request failed authentication")
+
+func macPayload(newN int, dir Direction, nonce uint64) []byte {
+	var buf [24]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(int64(newN)))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(int64(dir)))
+	binary.BigEndian.PutUint64(buf[16:24], nonce)
+	return buf[:]
+}
+
+// SignResize builds an authenticated resize request.
+func SignResize(key []byte, newN int, dir Direction, nonce uint64) ResizeRequest {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(macPayload(newN, dir, nonce))
+	return ResizeRequest{NewN: newN, Direction: dir, Nonce: nonce, MAC: mac.Sum(nil)}
+}
+
+// VerifyResize authenticates a resize request.
+func VerifyResize(key []byte, r ResizeRequest) error {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(macPayload(r.NewN, r.Direction, r.Nonce))
+	if !hmac.Equal(mac.Sum(nil), r.MAC) {
+		return ErrBadMAC
+	}
+	return nil
+}
+
+// --- Switchboard --------------------------------------------------------
+
+// Switchboard couples a voting farm with a controller, carrying resize
+// decisions as authenticated messages — the complete §3.3 loop.
+type Switchboard struct {
+	farm *voting.Farm
+	ctrl *Controller
+	key  []byte
+
+	nonce    uint64
+	resizes  int64
+	rejected int64
+}
+
+// NewSwitchboard wires a farm to a fresh controller with the given
+// policy. The farm's current size becomes the controller's initial
+// value. key authenticates resize messages.
+func NewSwitchboard(farm *voting.Farm, policy Policy, key []byte) (*Switchboard, error) {
+	if farm == nil {
+		return nil, fmt.Errorf("redundancy: nil farm")
+	}
+	if len(key) == 0 {
+		return nil, fmt.Errorf("redundancy: empty key")
+	}
+	ctrl, err := NewController(policy, farm.N())
+	if err != nil {
+		return nil, err
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &Switchboard{farm: farm, ctrl: ctrl, key: k}, nil
+}
+
+// Controller exposes the wrapped controller (read-only use).
+func (s *Switchboard) Controller() *Controller { return s.ctrl }
+
+// Farm exposes the wrapped farm.
+func (s *Switchboard) Farm() *voting.Farm { return s.farm }
+
+// Resizes reports how many resize messages were applied.
+func (s *Switchboard) Resizes() int64 { return s.resizes }
+
+// Step runs one voting round and applies any dimensioning revision the
+// controller deduces from it. It returns the round outcome and whether a
+// resize occurred.
+func (s *Switchboard) Step(input uint64, corrupted func(i int) bool, rng *xrand.Rand) (voting.Outcome, bool) {
+	o := s.farm.Round(input, corrupted, rng)
+	dir, changed := s.ctrl.Observe(o)
+	if !changed {
+		return o, false
+	}
+	// The revision travels as a signed message, verified on receipt —
+	// the paper's "secure messages".
+	s.nonce++
+	req := SignResize(s.key, s.ctrl.N(), dir, s.nonce)
+	if err := VerifyResize(s.key, req); err != nil {
+		s.rejected++
+		return o, false
+	}
+	if err := s.farm.SetReplicas(req.NewN); err != nil {
+		s.rejected++
+		return o, false
+	}
+	s.resizes++
+	return o, true
+}

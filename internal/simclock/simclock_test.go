@@ -1,0 +1,191 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []Time
+	for _, at := range []Time{30, 10, 20, 5, 25} {
+		at := at
+		s.At(at, func(*Scheduler) { order = append(order, at) })
+	}
+	s.RunAll()
+	want := []Time{5, 10, 20, 25, 30}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %d, want %d (full: %v)", i, order[i], want[i], order)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(7, func(*Scheduler) { order = append(order, i) })
+	}
+	s.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := New()
+	s.At(100, func(sc *Scheduler) {
+		if sc.Now() != 100 {
+			t.Errorf("Now() = %d inside event at 100", sc.Now())
+		}
+	})
+	s.RunAll()
+	if s.Now() != 100 {
+		t.Fatalf("final Now() = %d, want 100", s.Now())
+	}
+}
+
+func TestPastEventsRunNow(t *testing.T) {
+	s := New()
+	var at Time = -1
+	s.At(50, func(sc *Scheduler) {
+		sc.At(10, func(sc2 *Scheduler) { at = sc2.Now() })
+	})
+	s.RunAll()
+	if at != 50 {
+		t.Fatalf("past-scheduled event ran at %d, want 50 (clamped to now)", at)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	s := New()
+	var at Time
+	s.At(10, func(sc *Scheduler) {
+		sc.After(5, func(sc2 *Scheduler) { at = sc2.Now() })
+	})
+	s.RunAll()
+	if at != 15 {
+		t.Fatalf("After(5) from t=10 ran at %d, want 15", at)
+	}
+}
+
+func TestEveryStopsWhenFalse(t *testing.T) {
+	s := New()
+	n := 0
+	s.Every(10, func(*Scheduler) bool {
+		n++
+		return n < 5
+	})
+	s.RunAll()
+	if n != 5 {
+		t.Fatalf("Every ran %d times, want 5", n)
+	}
+	if s.Now() != 50 {
+		t.Fatalf("final time %d, want 50", s.Now())
+	}
+}
+
+func TestEveryPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0, ...) did not panic")
+		}
+	}()
+	New().Every(0, func(*Scheduler) bool { return false })
+}
+
+func TestRunHorizon(t *testing.T) {
+	s := New()
+	var ran []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.At(at, func(*Scheduler) { ran = append(ran, at) })
+	}
+	n := s.Run(25)
+	if n != 2 {
+		t.Fatalf("Run(25) executed %d events, want 2", n)
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", s.Pending())
+	}
+	// Events at exactly the horizon run.
+	n = s.Run(30)
+	if n != 1 {
+		t.Fatalf("Run(30) executed %d events, want 1", n)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Fatal("Step on empty scheduler returned true")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	depth := 0
+	var recurse Event
+	recurse = func(sc *Scheduler) {
+		depth++
+		if depth < 100 {
+			sc.After(1, recurse)
+		}
+	}
+	s.After(1, recurse)
+	s.RunAll()
+	if depth != 100 {
+		t.Fatalf("nested scheduling depth %d, want 100", depth)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("final time %d, want 100", s.Now())
+	}
+}
+
+// Property: for any set of event times, execution order is a sorted
+// permutation of the input times.
+func TestOrderProperty(t *testing.T) {
+	f := func(times []int16) bool {
+		s := New()
+		var ran []Time
+		for _, raw := range times {
+			at := Time(raw)
+			if at < 0 {
+				at = -at
+			}
+			at2 := at
+			s.At(at2, func(*Scheduler) { ran = append(ran, at2) })
+		}
+		s.RunAll()
+		if len(ran) != len(times) {
+			return false
+		}
+		for i := 1; i < len(ran); i++ {
+			if ran[i] < ran[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 100; j++ {
+			s.At(Time(j%17), func(*Scheduler) {})
+		}
+		s.RunAll()
+	}
+}

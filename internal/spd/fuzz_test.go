@@ -1,0 +1,53 @@
+package spd
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalBinary checks that arbitrary bytes never panic the SPD
+// decoder and that every accepted image round-trips.
+func FuzzUnmarshalBinary(f *testing.F) {
+	good, err := sample().MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(make([]byte, recordSize))
+	f.Add([]byte("SP"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Record
+		if err := r.UnmarshalBinary(data); err != nil {
+			return // rejected is fine; panicking is not
+		}
+		// Accepted images must re-marshal and re-parse to the same
+		// record.
+		out, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted record %+v does not marshal: %v", r, err)
+		}
+		var r2 Record
+		if err := r2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-marshalled image rejected: %v", err)
+		}
+		if r2 != r {
+			t.Fatalf("round trip changed record: %+v != %+v", r2, r)
+		}
+	})
+}
+
+// FuzzParseLSHW checks that arbitrary text never panics the parser and
+// that accepted outputs contain at least one bank.
+func FuzzParseLSHW(f *testing.F) {
+	f.Add(lshwFig2)
+	f.Add("*-bank:0\n size: 1GiB\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		recs, err := ParseLSHW(text)
+		if err != nil {
+			return
+		}
+		if len(recs) == 0 {
+			t.Fatal("accepted output with zero banks")
+		}
+	})
+}

@@ -1,0 +1,456 @@
+// Package spd models Serial Presence Detect: the machine-readable
+// identity of a memory module, the paper's chosen hook for letting an
+// Autoconf-like toolset discover which failure semantics to expect on
+// the target platform (§3.1, Figs. 1–2).
+//
+// Three pieces live here:
+//
+//   - Record, a module identity, with a binary codec standing in for the
+//     SPD EEPROM contents and a parser for `lshw`-style text output (the
+//     paper's Fig. 2 shows exactly such an excerpt);
+//   - Assumption, the design-time hypotheses f0–f4 about memory failure
+//     semantics, each carrying the set of fault effects it admits;
+//   - KnowledgeBase, the "local or remote, shared databases reporting
+//     known failure behaviors for models and even specific lots thereof"
+//     the paper describes, with JSON encoding and most-specific-match
+//     lookup.
+package spd
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aft/internal/faults"
+)
+
+// Record identifies one memory module.
+type Record struct {
+	Vendor     string `json:"vendor"`
+	Model      string `json:"model"`
+	Lot        string `json:"lot"`
+	Technology string `json:"technology"` // "CMOS" or "SDRAM"
+	SizeMiB    int    `json:"sizeMiB"`
+	ClockMHz   int    `json:"clockMHz"`
+}
+
+// String renders the record compactly.
+func (r Record) String() string {
+	return fmt.Sprintf("%s %s (lot %s, %s, %d MiB, %d MHz)",
+		r.Vendor, r.Model, r.Lot, r.Technology, r.SizeMiB, r.ClockMHz)
+}
+
+// Binary SPD layout (a simplified EEPROM image):
+//
+//	0..1   magic "SP"
+//	2      version (1)
+//	3      technology (1=CMOS, 2=SDRAM)
+//	4..7   size in MiB, big endian
+//	8..9   clock in MHz, big endian
+//	10..25 vendor, NUL padded
+//	26..41 model, NUL padded
+//	42..49 lot, NUL padded
+//	50     checksum: sum of bytes 0..49 mod 256
+const (
+	recordSize  = 51
+	fieldVendor = 10
+	fieldModel  = 26
+	fieldLot    = 42
+)
+
+// MarshalBinary encodes the record as an SPD EEPROM image.
+func (r Record) MarshalBinary() ([]byte, error) {
+	if len(r.Vendor) > 16 || len(r.Model) > 16 || len(r.Lot) > 8 {
+		return nil, fmt.Errorf("spd: field too long in %v", r)
+	}
+	var tech byte
+	switch r.Technology {
+	case "CMOS":
+		tech = 1
+	case "SDRAM":
+		tech = 2
+	default:
+		return nil, fmt.Errorf("spd: unknown technology %q", r.Technology)
+	}
+	if r.SizeMiB < 0 || r.ClockMHz < 0 || r.ClockMHz > 65535 {
+		return nil, fmt.Errorf("spd: size/clock out of range in %v", r)
+	}
+	buf := make([]byte, recordSize)
+	buf[0], buf[1] = 'S', 'P'
+	buf[2] = 1
+	buf[3] = tech
+	binary.BigEndian.PutUint32(buf[4:8], uint32(r.SizeMiB))
+	binary.BigEndian.PutUint16(buf[8:10], uint16(r.ClockMHz))
+	copy(buf[fieldVendor:fieldVendor+16], r.Vendor)
+	copy(buf[fieldModel:fieldModel+16], r.Model)
+	copy(buf[fieldLot:fieldLot+8], r.Lot)
+	var sum byte
+	for _, b := range buf[:recordSize-1] {
+		sum += b
+	}
+	buf[recordSize-1] = sum
+	return buf, nil
+}
+
+// UnmarshalBinary decodes an SPD EEPROM image, verifying magic and
+// checksum.
+func (r *Record) UnmarshalBinary(data []byte) error {
+	if len(data) != recordSize {
+		return fmt.Errorf("spd: record is %d bytes, want %d", len(data), recordSize)
+	}
+	if data[0] != 'S' || data[1] != 'P' {
+		return fmt.Errorf("spd: bad magic %q", data[0:2])
+	}
+	if data[2] != 1 {
+		return fmt.Errorf("spd: unsupported version %d", data[2])
+	}
+	var sum byte
+	for _, b := range data[:recordSize-1] {
+		sum += b
+	}
+	if sum != data[recordSize-1] {
+		return fmt.Errorf("spd: checksum mismatch (stored %#x, computed %#x)", data[recordSize-1], sum)
+	}
+	switch data[3] {
+	case 1:
+		r.Technology = "CMOS"
+	case 2:
+		r.Technology = "SDRAM"
+	default:
+		return fmt.Errorf("spd: unknown technology code %d", data[3])
+	}
+	r.SizeMiB = int(binary.BigEndian.Uint32(data[4:8]))
+	r.ClockMHz = int(binary.BigEndian.Uint16(data[8:10]))
+	r.Vendor = trimNul(data[fieldVendor : fieldVendor+16])
+	r.Model = trimNul(data[fieldModel : fieldModel+16])
+	r.Lot = trimNul(data[fieldLot : fieldLot+8])
+	return nil
+}
+
+func trimNul(b []byte) string {
+	return strings.TrimRight(string(b), "\x00")
+}
+
+// ParseLSHW extracts memory-bank records from `lshw`-style text output
+// of the kind shown in the paper's Fig. 2. It looks for `*-bank:` blocks
+// and reads vendor, description (used as model), serial (used as lot),
+// size, and clock lines.
+func ParseLSHW(text string) ([]Record, error) {
+	var (
+		out []Record
+		cur *Record
+	)
+	flush := func() {
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	for _, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if strings.HasPrefix(line, "*-bank") {
+			flush()
+			cur = &Record{Technology: "SDRAM"}
+			continue
+		}
+		if strings.HasPrefix(line, "*-") {
+			flush()
+			continue
+		}
+		if cur == nil {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "vendor":
+			cur.Vendor = val
+		case "description":
+			cur.Model = val
+		case "serial":
+			cur.Lot = val
+		case "size":
+			mib, err := parseSize(val)
+			if err != nil {
+				return nil, fmt.Errorf("spd: bank size: %w", err)
+			}
+			cur.SizeMiB = mib
+		case "clock":
+			mhz, err := parseClock(val)
+			if err != nil {
+				return nil, fmt.Errorf("spd: bank clock: %w", err)
+			}
+			cur.ClockMHz = mhz
+		}
+	}
+	flush()
+	if len(out) == 0 {
+		return nil, fmt.Errorf("spd: no memory banks found in lshw output")
+	}
+	return out, nil
+}
+
+// parseSize converts "1GiB" or "512MiB" to MiB.
+func parseSize(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		n, err := strconv.Atoi(strings.TrimSuffix(s, "GiB"))
+		if err != nil {
+			return 0, err
+		}
+		return n * 1024, nil
+	case strings.HasSuffix(s, "MiB"):
+		n, err := strconv.Atoi(strings.TrimSuffix(s, "MiB"))
+		if err != nil {
+			return 0, err
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("unrecognized size %q", s)
+	}
+}
+
+// parseClock converts "533MHz (1.9ns)" to 533.
+func parseClock(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if i := strings.Index(s, "MHz"); i >= 0 {
+		return strconv.Atoi(strings.TrimSpace(s[:i]))
+	}
+	return 0, fmt.Errorf("unrecognized clock %q", s)
+}
+
+// Assumption is one of the design-time hypotheses f0–f4 of §3.1 about
+// the failure semantics of the memory subsystem. Effects is the set of
+// fault effects the hypothesis admits; a memory access method is
+// adequate for the assumption iff it tolerates every admitted effect.
+type Assumption struct {
+	ID          string          `json:"id"`
+	Description string          `json:"description"`
+	Effects     []faults.Effect `json:"effects"`
+}
+
+// The five assumptions of §3.1, verbatim from the paper. The paper lists
+// SFI as "a special case of SEU", so the full single-event-effect
+// assumption f4 admits SEU, SEL and SFI.
+var (
+	F0 = Assumption{ID: "f0", Description: "memory is stable and unaffected by failures"}
+	F1 = Assumption{ID: "f1",
+		Description: "memory is affected by transient faults and CMOS-like failure behaviors",
+		Effects:     []faults.Effect{faults.BitFlip}}
+	F2 = Assumption{ID: "f2",
+		Description: "memory is affected by permanent stuck-at faults and CMOS-like failure behaviors",
+		Effects:     []faults.Effect{faults.BitFlip, faults.StuckAt}}
+	F3 = Assumption{ID: "f3",
+		Description: "memory is affected by transient faults and SDRAM-like failure behaviors, including SEL",
+		Effects:     []faults.Effect{faults.BitFlip, faults.LatchUp}}
+	F4 = Assumption{ID: "f4",
+		Description: "memory is affected by transient faults and SDRAM-like failure behaviors, including SEL and SEU/SFI",
+		Effects:     []faults.Effect{faults.BitFlip, faults.LatchUp, faults.FunctionalInterrupt}}
+)
+
+// Assumptions lists f0–f4 in order.
+func Assumptions() []Assumption {
+	return []Assumption{F0, F1, F2, F3, F4}
+}
+
+// AssumptionByID returns the assumption with the given ID.
+func AssumptionByID(id string) (Assumption, bool) {
+	for _, a := range Assumptions() {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return Assumption{}, false
+}
+
+// Admits reports whether the assumption admits the given effect.
+func (a Assumption) Admits(e faults.Effect) bool {
+	for _, x := range a.Effects {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Covers reports whether a admits every effect of b (a is at least as
+// pessimistic as b).
+func (a Assumption) Covers(b Assumption) bool {
+	for _, e := range b.Effects {
+		if !a.Admits(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// InferAssumption returns the least pessimistic of f0–f4 admitting every
+// listed effect, falling back to F4 when nothing smaller fits.
+func InferAssumption(effects []faults.Effect) Assumption {
+	for _, a := range Assumptions() {
+		ok := true
+		for _, e := range effects {
+			if !a.Admits(e) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return a
+		}
+	}
+	return F4
+}
+
+// Entry is one knowledge-base row: a (possibly partial) module identity
+// mapped to the failure assumption observed for it in the field.
+type Entry struct {
+	// Vendor must match exactly; empty matches any vendor.
+	Vendor string `json:"vendor,omitempty"`
+	// Model must match exactly; empty matches any model.
+	Model string `json:"model,omitempty"`
+	// LotPrefix matches lots by prefix ("" matches any), capturing the
+	// paper's observation that failure rates vary per lot.
+	LotPrefix string `json:"lotPrefix,omitempty"`
+	// Technology must match exactly; empty matches any.
+	Technology string `json:"technology,omitempty"`
+	// AssumptionID names the failure assumption (f0–f4) to use.
+	AssumptionID string `json:"assumption"`
+	// RateScale records how much hotter than baseline this lot runs
+	// (the "more than one order of magnitude" lot-to-lot variation).
+	RateScale float64 `json:"rateScale,omitempty"`
+	// Note is free-form provenance.
+	Note string `json:"note,omitempty"`
+}
+
+// specificity orders entries: more constrained rows win.
+func (e Entry) specificity() int {
+	s := 0
+	if e.Vendor != "" {
+		s += 8
+	}
+	if e.Model != "" {
+		s += 4
+	}
+	if e.LotPrefix != "" {
+		s += 2
+	}
+	if e.Technology != "" {
+		s++
+	}
+	return s
+}
+
+func (e Entry) matches(r Record) bool {
+	if e.Vendor != "" && e.Vendor != r.Vendor {
+		return false
+	}
+	if e.Model != "" && e.Model != r.Model {
+		return false
+	}
+	if e.LotPrefix != "" && !strings.HasPrefix(r.Lot, e.LotPrefix) {
+		return false
+	}
+	if e.Technology != "" && e.Technology != r.Technology {
+		return false
+	}
+	return true
+}
+
+// KnowledgeBase is the failure-behaviour database of §3.1.
+type KnowledgeBase struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Add appends an entry.
+func (kb *KnowledgeBase) Add(e Entry) {
+	kb.Entries = append(kb.Entries, e)
+}
+
+// Lookup returns the most specific entry matching the record. Among
+// equally specific matches the earliest added wins.
+func (kb *KnowledgeBase) Lookup(r Record) (Entry, bool) {
+	best := -1
+	bestSpec := -1
+	for i, e := range kb.Entries {
+		if !e.matches(r) {
+			continue
+		}
+		if s := e.specificity(); s > bestSpec {
+			best, bestSpec = i, s
+		}
+	}
+	if best < 0 {
+		return Entry{}, false
+	}
+	return kb.Entries[best], true
+}
+
+// Assume resolves a record to a failure assumption, defaulting to the
+// technology's conservative assumption when the KB has no row: f1 for
+// CMOS, f4 for SDRAM (the paper's "trickier failure semantics"), f4
+// otherwise.
+func (kb *KnowledgeBase) Assume(r Record) Assumption {
+	if e, ok := kb.Lookup(r); ok {
+		if a, ok := AssumptionByID(e.AssumptionID); ok {
+			return a
+		}
+	}
+	switch r.Technology {
+	case "CMOS":
+		return F1
+	default:
+		return F4
+	}
+}
+
+// MarshalJSON renders the KB with stable entry order.
+func (kb *KnowledgeBase) MarshalJSON() ([]byte, error) {
+	type alias KnowledgeBase
+	entries := make([]Entry, len(kb.Entries))
+	copy(entries, kb.Entries)
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].specificity() > entries[j].specificity()
+	})
+	return json.Marshal(alias{Entries: entries})
+}
+
+// LoadKnowledgeBase parses a JSON KB.
+func LoadKnowledgeBase(data []byte) (*KnowledgeBase, error) {
+	var kb KnowledgeBase
+	if err := json.Unmarshal(data, &kb); err != nil {
+		return nil, fmt.Errorf("spd: parse knowledge base: %w", err)
+	}
+	for _, e := range kb.Entries {
+		if _, ok := AssumptionByID(e.AssumptionID); !ok {
+			return nil, fmt.Errorf("spd: knowledge base entry references unknown assumption %q", e.AssumptionID)
+		}
+	}
+	return &kb, nil
+}
+
+// DefaultKnowledgeBase returns a KB seeded with the failure behaviours
+// the paper's §3.1 cites: CMOS mostly single-bit errors (Oey &
+// Teitelbaum 1981); SDRAM subject to SEL, SEU and SFI with large
+// lot-to-lot variance (Ladbury 2002).
+func DefaultKnowledgeBase() *KnowledgeBase {
+	kb := &KnowledgeBase{}
+	kb.Add(Entry{Technology: "CMOS", AssumptionID: "f1",
+		Note: "CMOS memories mostly experience single bit errors [Oey & Teitelbaum 1981]"})
+	kb.Add(Entry{Technology: "SDRAM", AssumptionID: "f4",
+		Note: "SDRAM subject to single-event effects incl. SEL, SEU, SFI [Ladbury 2002]"})
+	kb.Add(Entry{Vendor: "CE00000000000000", Model: "DIMM DDR Synchronous 533 MHz (1.9 ns)",
+		AssumptionID: "f3", RateScale: 1,
+		Note: "field history: SEL observed, no SFI (Fig. 2 module)"})
+	kb.Add(Entry{Vendor: "CE00000000000000", Model: "DIMM DDR Synchronous 533 MHz (1.9 ns)",
+		LotPrefix: "F5", AssumptionID: "f4", RateScale: 12,
+		Note: "lot F5xx runs an order of magnitude hotter and exhibits SFI"})
+	return kb
+}

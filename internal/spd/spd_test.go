@@ -1,0 +1,309 @@
+package spd
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"aft/internal/faults"
+)
+
+func sample() Record {
+	return Record{
+		Vendor:     "CE00000000000000",
+		Model:      "DDR2-5300",
+		Lot:        "F504F679",
+		Technology: "SDRAM",
+		SizeMiB:    1024,
+		ClockMHz:   533,
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := sample()
+	data, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip: got %+v, want %+v", got, r)
+	}
+}
+
+func TestBinaryChecksumDetectsCorruption(t *testing.T) {
+	data, err := sample().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0x40
+	var got Record
+	if err := got.UnmarshalBinary(data); err == nil {
+		t.Fatal("corrupted record accepted")
+	}
+}
+
+func TestBinaryRejectsBadMagicAndSize(t *testing.T) {
+	var r Record
+	if err := r.UnmarshalBinary(make([]byte, 10)); err == nil {
+		t.Fatal("short record accepted")
+	}
+	data, _ := sample().MarshalBinary()
+	data[0] = 'X'
+	// Fix the checksum so only the magic is wrong.
+	var sum byte
+	for _, b := range data[:len(data)-1] {
+		sum += b
+	}
+	data[len(data)-1] = sum
+	if err := r.UnmarshalBinary(data); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestMarshalValidation(t *testing.T) {
+	r := sample()
+	r.Vendor = strings.Repeat("x", 20)
+	if _, err := r.MarshalBinary(); err == nil {
+		t.Fatal("overlong vendor accepted")
+	}
+	r = sample()
+	r.Technology = "QUANTUM"
+	if _, err := r.MarshalBinary(); err == nil {
+		t.Fatal("unknown technology accepted")
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(size uint16, clock uint16, lotSeed uint32) bool {
+		r := Record{
+			Vendor:     "V",
+			Model:      "M",
+			Lot:        strings.ToUpper(strings.TrimLeft(strings.Repeat("A", int(lotSeed%8)), "")),
+			Technology: "SDRAM",
+			SizeMiB:    int(size),
+			ClockMHz:   int(clock),
+		}
+		data, err := r.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Record
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lshwFig2 reproduces the structure of the paper's Fig. 2 excerpt.
+const lshwFig2 = `  *-memory
+       description: System Memory
+       physical id: 1000
+       slot: System board or motherboard
+       size: 1536MiB
+     *-bank:0
+          description: DIMM DDR Synchronous 533 MHz (1.9 ns)
+          vendor: CE00000000000000
+          physical id: 0
+          serial: F504F679
+          slot: DIMM_A
+          size: 1GiB
+          width: 64 bits
+          clock: 533MHz (1.9ns)
+     *-bank:1
+          description: DIMM DDR Synchronous 667 MHz (1.5 ns)
+          vendor: CE00000000000000
+          physical id: 1
+          serial: F33DD2FD
+          slot: DIMM_B
+          size: 512MiB
+          width: 64 bits
+          clock: 667MHz (1.5ns)
+`
+
+func TestParseLSHWFig2(t *testing.T) {
+	recs, err := ParseLSHW(lshwFig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d banks, want 2", len(recs))
+	}
+	b0 := recs[0]
+	if b0.Vendor != "CE00000000000000" {
+		t.Errorf("bank0 vendor = %q", b0.Vendor)
+	}
+	if b0.Model != "DIMM DDR Synchronous 533 MHz (1.9 ns)" {
+		t.Errorf("bank0 model = %q", b0.Model)
+	}
+	if b0.Lot != "F504F679" {
+		t.Errorf("bank0 lot = %q", b0.Lot)
+	}
+	if b0.SizeMiB != 1024 {
+		t.Errorf("bank0 size = %d MiB, want 1024", b0.SizeMiB)
+	}
+	if b0.ClockMHz != 533 {
+		t.Errorf("bank0 clock = %d", b0.ClockMHz)
+	}
+	b1 := recs[1]
+	if b1.SizeMiB != 512 || b1.ClockMHz != 667 || b1.Lot != "F33DD2FD" {
+		t.Errorf("bank1 = %+v", b1)
+	}
+}
+
+func TestParseLSHWErrors(t *testing.T) {
+	if _, err := ParseLSHW("no banks here"); err == nil {
+		t.Fatal("bankless text accepted")
+	}
+	if _, err := ParseLSHW("*-bank:0\n size: 3parsecs\n"); err == nil {
+		t.Fatal("bad size accepted")
+	}
+	if _, err := ParseLSHW("*-bank:0\n clock: fast\n"); err == nil {
+		t.Fatal("bad clock accepted")
+	}
+}
+
+func TestAssumptionOrdering(t *testing.T) {
+	// Each fi must cover all fj with j <= i on the CMOS chain (f0,f1,f2)
+	// and on the SDRAM chain (f0,f1,f3,f4).
+	chains := [][]Assumption{
+		{F0, F1, F2},
+		{F0, F1, F3, F4},
+	}
+	for _, chain := range chains {
+		for i := 1; i < len(chain); i++ {
+			if !chain[i].Covers(chain[i-1]) {
+				t.Errorf("%s does not cover %s", chain[i].ID, chain[i-1].ID)
+			}
+			if chain[i-1].Covers(chain[i]) {
+				t.Errorf("%s wrongly covers %s", chain[i-1].ID, chain[i].ID)
+			}
+		}
+	}
+	// The two branches are incomparable: f2 (stuck-at) vs f3 (SEL).
+	if F2.Covers(F3) || F3.Covers(F2) {
+		t.Error("f2 and f3 should be incomparable")
+	}
+}
+
+func TestAssumptionByID(t *testing.T) {
+	for _, id := range []string{"f0", "f1", "f2", "f3", "f4"} {
+		a, ok := AssumptionByID(id)
+		if !ok || a.ID != id {
+			t.Errorf("AssumptionByID(%q) = %+v, %v", id, a, ok)
+		}
+	}
+	if _, ok := AssumptionByID("f9"); ok {
+		t.Error("unknown assumption resolved")
+	}
+}
+
+func TestInferAssumption(t *testing.T) {
+	tests := []struct {
+		give []faults.Effect
+		want string
+	}{
+		{nil, "f0"},
+		{[]faults.Effect{faults.BitFlip}, "f1"},
+		{[]faults.Effect{faults.BitFlip, faults.StuckAt}, "f2"},
+		{[]faults.Effect{faults.BitFlip, faults.LatchUp}, "f3"},
+		{[]faults.Effect{faults.BitFlip, faults.LatchUp, faults.FunctionalInterrupt}, "f4"},
+		{[]faults.Effect{faults.FunctionalInterrupt}, "f4"},
+		// Effects outside the lattice fall back to f4.
+		{[]faults.Effect{faults.WrongValue}, "f4"},
+	}
+	for _, tt := range tests {
+		if got := InferAssumption(tt.give); got.ID != tt.want {
+			t.Errorf("InferAssumption(%v) = %s, want %s", tt.give, got.ID, tt.want)
+		}
+	}
+}
+
+func TestKBLookupSpecificity(t *testing.T) {
+	kb := DefaultKnowledgeBase()
+	// The Fig. 2 module with a lot in the hot F5 range → most specific
+	// row (vendor+model+lot) wins → f4.
+	hot := Record{
+		Vendor:     "CE00000000000000",
+		Model:      "DIMM DDR Synchronous 533 MHz (1.9 ns)",
+		Lot:        "F504F679",
+		Technology: "SDRAM",
+	}
+	e, ok := kb.Lookup(hot)
+	if !ok || e.AssumptionID != "f4" {
+		t.Fatalf("hot lot lookup = %+v, %v; want f4", e, ok)
+	}
+	// Same module, different lot → vendor+model row → f3.
+	cool := hot
+	cool.Lot = "A1000000"
+	e, ok = kb.Lookup(cool)
+	if !ok || e.AssumptionID != "f3" {
+		t.Fatalf("cool lot lookup = %+v, %v; want f3", e, ok)
+	}
+	// Unknown SDRAM module → technology default row → f4.
+	unknown := Record{Vendor: "X", Model: "Y", Technology: "SDRAM"}
+	e, ok = kb.Lookup(unknown)
+	if !ok || e.AssumptionID != "f4" {
+		t.Fatalf("unknown SDRAM lookup = %+v, %v; want f4", e, ok)
+	}
+}
+
+func TestKBAssumeDefaults(t *testing.T) {
+	var empty KnowledgeBase
+	if got := empty.Assume(Record{Technology: "CMOS"}); got.ID != "f1" {
+		t.Errorf("empty KB CMOS default = %s, want f1", got.ID)
+	}
+	if got := empty.Assume(Record{Technology: "SDRAM"}); got.ID != "f4" {
+		t.Errorf("empty KB SDRAM default = %s, want f4", got.ID)
+	}
+	if got := empty.Assume(Record{Technology: "???"}); got.ID != "f4" {
+		t.Errorf("empty KB unknown default = %s, want f4", got.ID)
+	}
+}
+
+func TestKBJSONRoundTrip(t *testing.T) {
+	kb := DefaultKnowledgeBase()
+	data, err := kb.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadKnowledgeBase(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(kb.Entries) {
+		t.Fatalf("round trip lost entries: %d != %d", len(got.Entries), len(kb.Entries))
+	}
+	// Lookup behaviour must be preserved.
+	r := Record{Vendor: "CE00000000000000",
+		Model: "DIMM DDR Synchronous 533 MHz (1.9 ns)", Lot: "F504F679", Technology: "SDRAM"}
+	a, b := kb.Assume(r), got.Assume(r)
+	if a.ID != b.ID {
+		t.Fatalf("round trip changed lookup: %s != %s", a.ID, b.ID)
+	}
+}
+
+func TestLoadKnowledgeBaseRejectsUnknownAssumption(t *testing.T) {
+	if _, err := LoadKnowledgeBase([]byte(`{"entries":[{"assumption":"f77"}]}`)); err == nil {
+		t.Fatal("unknown assumption id accepted")
+	}
+	if _, err := LoadKnowledgeBase([]byte(`{broken`)); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"CE00000000000000", "1024 MiB", "533 MHz", "F504F679"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	r := New()
+	r.Record(1, "fault", "mem0", "SEU at word %d", 42)
+	r.Record(2, "vote", "farm", "")
+	events := r.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Detail != "SEU at word 42" {
+		t.Fatalf("detail = %q", events[0].Detail)
+	}
+	if events[1].Detail != "" {
+		t.Fatalf("empty format produced detail %q", events[1].Detail)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(1, "fault", "x", "ignored")
+	if r.Len() != 0 {
+		t.Fatal("nil recorder has events")
+	}
+	if r.Events() != nil {
+		t.Fatal("nil recorder returned non-nil events")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: 5, Kind: "swap", Subject: "dag", Detail: "D1->D2"}
+	if got := e.String(); got != "[5] swap dag: D1->D2" {
+		t.Fatalf("String() = %q", got)
+	}
+	e.Detail = ""
+	if got := e.String(); got != "[5] swap dag" {
+		t.Fatalf("String() without detail = %q", got)
+	}
+}
+
+func TestBoundedKeepsTail(t *testing.T) {
+	r := NewBounded(10)
+	for i := 0; i < 100; i++ {
+		r.Record(int64(i), "tick", "t", "")
+	}
+	events := r.Events()
+	if len(events) > 10 {
+		t.Fatalf("bounded recorder kept %d events, limit 10", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Time != 99 {
+		t.Fatalf("last event time %d, want 99 (tail must be kept)", last.Time)
+	}
+}
+
+func TestBoundedPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBounded(0) did not panic")
+		}
+	}()
+	NewBounded(0)
+}
+
+func TestFilter(t *testing.T) {
+	r := New()
+	r.Record(1, "fault", "a", "")
+	r.Record(2, "vote", "b", "")
+	r.Record(3, "fault", "c", "")
+	faults := r.Filter("fault")
+	if len(faults) != 2 {
+		t.Fatalf("Filter returned %d events, want 2", len(faults))
+	}
+	if faults[1].Subject != "c" {
+		t.Fatalf("Filter order wrong: %v", faults)
+	}
+}
+
+func TestTranscript(t *testing.T) {
+	r := New()
+	r.Record(1, "a", "x", "")
+	r.Record(2, "b", "y", "z")
+	got := r.Transcript()
+	want := "[1] a x\n[2] b y: z\n"
+	if got != want {
+		t.Fatalf("Transcript() = %q, want %q", got, want)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(int64(i), "k", "s", "")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 8000 {
+		t.Fatalf("concurrent records lost: %d != 8000", r.Len())
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	r := New()
+	r.Record(1, "k", "s", "")
+	events := r.Events()
+	events[0].Kind = "mutated"
+	if r.Events()[0].Kind != "k" {
+		t.Fatal("Events() exposed internal state")
+	}
+}
+
+func TestTranscriptDeterminism(t *testing.T) {
+	build := func() string {
+		r := New()
+		for i := 0; i < 50; i++ {
+			r.Record(int64(i), "k", "s", "v=%d", i*3)
+		}
+		return r.Transcript()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatal("identical recordings produced different transcripts")
+	}
+	if !strings.Contains(build(), "v=147") {
+		t.Fatal("transcript missing expected content")
+	}
+}

@@ -1,0 +1,33 @@
+package voting_test
+
+import (
+	"fmt"
+
+	"aft/internal/voting"
+	"aft/internal/xrand"
+)
+
+// ExampleDTOF reproduces the paper's Fig. 5 table for a 7-replica
+// restoring organ.
+func ExampleDTOF() {
+	for m := 0; m <= 4; m++ {
+		fmt.Printf("m=%d dtof=%d\n", m, voting.DTOF(7, m))
+	}
+	// Output:
+	// m=0 dtof=4
+	// m=1 dtof=3
+	// m=2 dtof=2
+	// m=3 dtof=1
+	// m=4 dtof=0
+}
+
+// ExampleFarm_Round shows one voting round with a corrupted minority.
+func ExampleFarm_Round() {
+	farm, _ := voting.NewFarm(5, func(v uint64) uint64 { return v * v })
+	rng := xrand.New(1)
+	o := farm.Round(6, func(i int) bool { return i == 0 }, rng)
+	fmt.Printf("value=%d correct=%v dissent=%d dtof=%d\n",
+		o.Value, o.Correct, o.Dissent, o.DTOF)
+	// Output:
+	// value=36 correct=true dissent=1 dtof=2
+}

@@ -1,0 +1,98 @@
+// Package watchdog implements the heartbeat watchdog of the paper's
+// Fig. 4 scenario: a watchdog task observes a watched task; when the
+// watched task stays silent past its deadline the watchdog "fires", and
+// each firing feeds the alpha-count oracle that discriminates transient
+// from permanent faults.
+//
+// The watchdog runs in virtual time on a simclock.Scheduler so that the
+// Fig. 4 experiment is deterministic.
+package watchdog
+
+import (
+	"fmt"
+
+	"aft/internal/simclock"
+)
+
+// Config parameterizes a watchdog.
+type Config struct {
+	// Interval is the period between watchdog checks.
+	Interval simclock.Time
+	// Deadline is the maximum silence tolerated since the last
+	// heartbeat; longer silences fire the watchdog.
+	Deadline simclock.Time
+}
+
+// Watchdog monitors heartbeats in virtual time. It keeps firing once per
+// check interval for as long as the watched task stays silent, matching
+// the repeated firings of Fig. 4.
+type Watchdog struct {
+	cfg      Config
+	onFire   func(now simclock.Time)
+	lastBeat simclock.Time
+	started  bool
+	stopped  bool
+	fires    int64
+	beats    int64
+}
+
+// New builds a watchdog. onFire runs on every firing; it may be nil.
+func New(cfg Config, onFire func(now simclock.Time)) (*Watchdog, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("watchdog: interval must be positive, got %d", cfg.Interval)
+	}
+	if cfg.Deadline <= 0 {
+		return nil, fmt.Errorf("watchdog: deadline must be positive, got %d", cfg.Deadline)
+	}
+	return &Watchdog{cfg: cfg, onFire: onFire}, nil
+}
+
+// Start schedules the periodic checks. The last-heartbeat time starts at
+// the current virtual time, so a healthy task has a full deadline before
+// the first possible firing.
+func (w *Watchdog) Start(s *simclock.Scheduler) {
+	if w.started {
+		return
+	}
+	w.started = true
+	w.lastBeat = s.Now()
+	s.Every(w.cfg.Interval, func(sc *simclock.Scheduler) bool {
+		if w.stopped {
+			return false
+		}
+		w.check(sc.Now())
+		return true
+	})
+}
+
+// check fires if the watched task has been silent past the deadline.
+func (w *Watchdog) check(now simclock.Time) {
+	if now-w.lastBeat <= w.cfg.Deadline {
+		return
+	}
+	w.fires++
+	if w.onFire != nil {
+		w.onFire(now)
+	}
+}
+
+// Beat records a heartbeat from the watched task at the given virtual
+// time.
+func (w *Watchdog) Beat(now simclock.Time) {
+	w.beats++
+	if now > w.lastBeat {
+		w.lastBeat = now
+	}
+}
+
+// Stop cancels future checks (takes effect at the next scheduled check).
+func (w *Watchdog) Stop() { w.stopped = true }
+
+// Fires reports how many times the watchdog has fired.
+func (w *Watchdog) Fires() int64 { return w.fires }
+
+// Beats reports how many heartbeats were received.
+func (w *Watchdog) Beats() int64 { return w.beats }
+
+// LastBeat reports the virtual time of the most recent heartbeat.
+func (w *Watchdog) LastBeat() simclock.Time { return w.lastBeat }

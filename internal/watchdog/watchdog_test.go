@@ -1,0 +1,127 @@
+package watchdog
+
+import (
+	"testing"
+
+	"aft/internal/simclock"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Interval: 0, Deadline: 5}, nil); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := New(Config{Interval: 5, Deadline: 0}, nil); err == nil {
+		t.Fatal("zero deadline accepted")
+	}
+}
+
+func TestHealthyTaskNeverFires(t *testing.T) {
+	s := simclock.New()
+	w, err := New(Config{Interval: 10, Deadline: 15}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(s)
+	// Task beats every 10 units.
+	s.Every(10, func(sc *simclock.Scheduler) bool {
+		w.Beat(sc.Now())
+		return sc.Now() < 1000
+	})
+	s.Run(1000)
+	if w.Fires() != 0 {
+		t.Fatalf("watchdog fired %d times on a healthy task", w.Fires())
+	}
+	if w.Beats() == 0 {
+		t.Fatal("no beats recorded")
+	}
+}
+
+func TestSilentTaskFiresRepeatedly(t *testing.T) {
+	s := simclock.New()
+	var fireTimes []simclock.Time
+	w, err := New(Config{Interval: 10, Deadline: 15},
+		func(now simclock.Time) { fireTimes = append(fireTimes, now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(s)
+	// Stop everything at t=100 by stopping the watchdog. The stop event
+	// was scheduled before the check chain's t=100 event, so it wins the
+	// same-time FIFO race and the t=100 check never fires.
+	s.At(100, func(*simclock.Scheduler) { w.Stop() })
+	s.Run(200)
+	// Checks at 10 (silence 10 <= 15, ok), then 20..90 all fire: 8
+	// firings.
+	if len(fireTimes) != 8 {
+		t.Fatalf("fired %d times at %v, want 8", len(fireTimes), fireTimes)
+	}
+	if fireTimes[0] != 20 {
+		t.Fatalf("first firing at %d, want 20", fireTimes[0])
+	}
+}
+
+func TestRecoveryStopsFiring(t *testing.T) {
+	s := simclock.New()
+	w, err := New(Config{Interval: 10, Deadline: 15}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(s)
+	// Silent until t=50, then beats resume.
+	s.Every(10, func(sc *simclock.Scheduler) bool {
+		if sc.Now() >= 50 {
+			w.Beat(sc.Now())
+		}
+		return sc.Now() < 300
+	})
+	s.Run(250)
+	// The watchdog check chain was scheduled before the beat chain, so
+	// at every shared tick the check runs first. Fires at 20, 30, 40 and
+	// 50 (the t=50 check still sees silence); afterwards silence never
+	// exceeds the deadline again.
+	if fires := w.Fires(); fires != 4 {
+		t.Fatalf("fired %d times, want 4 (only during the silent window)", fires)
+	}
+}
+
+func TestBeatMonotonic(t *testing.T) {
+	w, err := New(Config{Interval: 1, Deadline: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Beat(10)
+	w.Beat(5) // out-of-order heartbeat must not move time backwards
+	if w.LastBeat() != 10 {
+		t.Fatalf("LastBeat = %d, want 10", w.LastBeat())
+	}
+}
+
+func TestDoubleStartIsIdempotent(t *testing.T) {
+	s := simclock.New()
+	w, err := New(Config{Interval: 10, Deadline: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(s)
+	w.Start(s)
+	s.At(55, func(*simclock.Scheduler) { w.Stop() })
+	s.Run(100)
+	// Single check chain: checks at 10..50 all fire (silence from 0).
+	if w.Fires() != 5 {
+		t.Fatalf("fires = %d, want 5 (double Start must not double the checks)", w.Fires())
+	}
+}
+
+func TestStopHaltsChecks(t *testing.T) {
+	s := simclock.New()
+	w, err := New(Config{Interval: 10, Deadline: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(s)
+	s.At(25, func(*simclock.Scheduler) { w.Stop() })
+	s.RunAll() // must terminate: the Every loop exits after Stop
+	if w.Fires() != 2 {
+		t.Fatalf("fires = %d, want 2 (t=10 and t=20)", w.Fires())
+	}
+}

@@ -1,0 +1,136 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators for reproducible fault-injection experiments.
+//
+// Every experiment in this repository is driven by a seed; the same seed
+// must always produce the same transcript. The generators here are
+// xoshiro256** instances seeded through SplitMix64, following the
+// reference implementations by Blackman and Vigna. Streams can be split
+// so that independent subsystems (fault injectors, workloads, device
+// models) draw from statistically independent sequences while remaining
+// a pure function of the root seed.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Rand is a deterministic pseudo-random number generator. It is not safe
+// for concurrent use; split independent streams instead of sharing one.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed. Any seed, including zero, is
+// valid: the state is expanded through SplitMix64 so that no xoshiro
+// state is ever all-zero.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitMix64(sm)
+	}
+	return r
+}
+
+// splitMix64 advances the SplitMix64 state and returns the next state and
+// output value.
+func splitMix64(state uint64) (next, out uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// Uint64 returns the next value in the sequence.
+func (r *Rand) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+
+	return result
+}
+
+// Split returns a new generator whose stream is independent of r's. The
+// child is derived from r's output, so splitting is itself deterministic.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *Rand) Float64() float64 {
+	// Use the top 53 bits for a full-precision mantissa.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed value in [0, n). It panics if
+// n <= 0, mirroring math/rand.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.boundedUint64(uint64(n)))
+}
+
+// boundedUint64 returns a uniform value in [0, bound) using Lemire's
+// multiply-shift rejection method.
+func (r *Rand) boundedUint64(bound uint64) uint64 {
+	hi, lo := bits.Mul64(r.Uint64(), bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), bound)
+		}
+	}
+	return hi
+}
+
+// Bool returns true with probability p. Values of p <= 0 always return
+// false; values >= 1 always return true.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided
+// swap function.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1.
+// Multiply by a mean to rescale. Used for inter-arrival times of fault
+// bursts.
+func (r *Rand) ExpFloat64() float64 {
+	// Inverse-CDF sampling; guard against log(0).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
