@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	aft-bench [-fig 4|5|6|7|e5|e6|e7|e8|all] [-steps N] [-seed S]
+//	aft-bench [-fig 4|5|6|7|e5|e6|e7|e8|all] [-steps N] [-seed S] [-parallel W]
 //
 // -steps applies to the Fig. 7 run; pass 65000000 for the paper's full
-// 65-million-step experiment.
+// 65-million-step experiment. -parallel runs the independent-trial
+// sweeps (E8, E9, E10) on a worker pool of W goroutines (0 = one per
+// CPU); results are byte-identical to the serial run.
 package main
 
 import (
@@ -28,6 +30,7 @@ func run() error {
 	fig := flag.String("fig", "all", "which artefact to regenerate: 4, 5, 6, 7, e5..e10, all")
 	steps := flag.Int64("steps", 2_000_000, "rounds for the Fig. 7 run (paper: 65000000)")
 	seed := flag.Uint64("seed", 1906, "random seed")
+	parallel := flag.Int("parallel", 1, "worker pool for the E8/E9/E10 sweeps: 1 = serial, 0 = one per CPU, N = N workers")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -95,7 +98,7 @@ func run() error {
 			return nil
 		},
 		"e8": func() error {
-			rows, err := experiments.RunE8(200_000, *seed)
+			rows, err := experiments.RunE8Parallel(200_000, *seed, *parallel)
 			if err != nil {
 				return err
 			}
@@ -103,7 +106,7 @@ func run() error {
 			return nil
 		},
 		"e9": func() error {
-			rows, err := experiments.RunE9(experiments.DefaultE9Config())
+			rows, err := experiments.RunE9Parallel(experiments.DefaultE9Config(), *parallel)
 			if err != nil {
 				return err
 			}
@@ -111,7 +114,7 @@ func run() error {
 			return nil
 		},
 		"e10": func() error {
-			rows, err := experiments.RunE10(200_000, *seed, nil)
+			rows, err := experiments.RunE10Parallel(200_000, *seed, nil, *parallel)
 			if err != nil {
 				return err
 			}
@@ -121,6 +124,10 @@ func run() error {
 	}
 
 	order := []string{"4", "5", "6", "7", "e5", "e6", "e7", "e8", "e9", "e10"}
+	usesPool := map[string]bool{"e8": true, "e9": true, "e10": true}
+	if *parallel != 1 && (*fig == "all" || usesPool[*fig]) {
+		fmt.Printf("(E8/E9/E10 sweeps on a %d-worker pool)\n", experiments.Workers(*parallel))
+	}
 	if *fig != "all" {
 		r, ok := runners[*fig]
 		if !ok {

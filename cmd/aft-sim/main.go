@@ -2,9 +2,16 @@
 // with configurable length, seed, and disturbance regime, printing the
 // Fig. 6-style series (when sampling) and the Fig. 7-style histogram.
 //
+// With -replicas R > 1 it runs R independent replicas of the campaign
+// with seeds derived deterministically from -seed, spread across a
+// worker pool (-parallel, 0 = one per CPU), and prints per-replica
+// summaries plus the aggregate; replica i's result depends only on
+// (seed, i), never on the worker count.
+//
 // Usage:
 //
 //	aft-sim [-steps N] [-seed S] [-sample K] [-storm-every N] [-max-level L]
+//	        [-replicas R] [-parallel W]
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 
 	"aft/internal/experiments"
 	"aft/internal/redundancy"
+	"aft/internal/xrand"
 )
 
 func main() {
@@ -28,6 +36,8 @@ func run() error {
 	sample := flag.Int64("sample", 0, "series sampling period (0 = histogram only)")
 	stormEvery := flag.Int64("storm-every", 0, "storm onset period (0 = steps/13)")
 	maxLevel := flag.Int("max-level", 4, "maximum storm intensity level")
+	replicas := flag.Int("replicas", 1, "independent replicas of the campaign")
+	parallel := flag.Int("parallel", 0, "worker pool for replicas (0 = one per CPU)")
 	flag.Parse()
 
 	cfg := experiments.DefaultFig7Config(*steps)
@@ -37,6 +47,10 @@ func run() error {
 		cfg.Storms.StormEvery = *stormEvery
 	}
 	cfg.Storms.MaxLevel = *maxLevel
+
+	if *replicas > 1 {
+		return runReplicas(cfg, *replicas, *parallel)
+	}
 
 	fmt.Printf("running %d rounds (seed %d, storms every %d rounds, max level %d)\n",
 		cfg.Steps, cfg.Seed, cfg.Storms.StormEvery, cfg.Storms.MaxLevel)
@@ -48,5 +62,36 @@ func run() error {
 		fmt.Print(experiments.RenderFig6(res))
 	}
 	fmt.Print(experiments.RenderFig7(res, redundancy.DefaultPolicy().Min))
+	return nil
+}
+
+// runReplicas fans the campaign out over derived seeds and aggregates.
+func runReplicas(cfg experiments.AdaptiveRunConfig, replicas, parallel int) error {
+	if cfg.SampleEvery > 0 {
+		fmt.Println("(-sample applies to single runs only; disabled for the replica sweep)")
+		cfg.SampleEvery = 0
+	}
+	seeds := xrand.Seeds(cfg.Seed, replicas)
+	fmt.Printf("running %d replicas x %d rounds (root seed %d, %d workers)\n",
+		replicas, cfg.Steps, cfg.Seed, experiments.Workers(parallel))
+	results, err := experiments.SweepSeeds(cfg, seeds, parallel)
+	if err != nil {
+		return err
+	}
+	minR := redundancy.DefaultPolicy().Min
+	var failures, replicaRounds, rounds int64
+	var minFraction float64
+	for i, res := range results {
+		fmt.Printf("  replica %2d (seed %20d): failures=%-4d time@min=%9.5f%% avg-redundancy=%.4f\n",
+			i, seeds[i], res.Failures, 100*res.MinFraction,
+			float64(res.ReplicaRounds)/float64(res.Rounds))
+		failures += res.Failures
+		replicaRounds += res.ReplicaRounds
+		rounds += res.Rounds
+		minFraction += res.MinFraction
+	}
+	fmt.Printf("aggregate over %d replicas: failures=%d time@min(r=%d)=%.5f%% avg-redundancy=%.4f\n",
+		replicas, failures, minR, 100*minFraction/float64(replicas),
+		float64(replicaRounds)/float64(rounds))
 	return nil
 }

@@ -9,7 +9,10 @@
 //     one snapshot per fault assumption — D1 (redoing, assumption e1)
 //     and D2 (reconfiguration, assumption e2);
 //   - fault notifications arrive through publish/subscribe (package
-//     pubsub) on the topic "faults/<component>";
+//     pubsub, a sharded topic-indexed bus) on the topic
+//     "faults/<component>"; live deployments can put the manager behind
+//     pubsub's bounded-queue async mode, while the simulated experiments
+//     keep the default synchronous delivery for determinism;
 //   - an alpha-count oracle (package alphacount) discriminates transient
 //     from permanent/intermittent faults;
 //   - on a verdict change the matching snapshot is injected into the
@@ -110,8 +113,19 @@ func NewManager(graph *dag.Graph, bus *pubsub.Bus, alpha alphacount.Config, opts
 // Bind registers a component for adaptation: d1 is the architecture to
 // run while the component's faults look transient, d2 the one for
 // permanent/intermittent faults. The manager starts in d1's regime and
-// subscribes to the component's fault topic.
+// subscribes to the component's fault topic. The component name must
+// form a well-formed bus topic (non-empty, no blank segments) that the
+// bus treats as a literal, not a wildcard pattern: a name like "c1/*"
+// would otherwise widen into a pattern subscription that swallows other
+// components' fault notifications.
 func (m *Manager) Bind(component string, d1, d2 dag.Snapshot) error {
+	topic := FaultTopic(component)
+	if err := pubsub.Validate(topic); err != nil {
+		return fmt.Errorf("accada: invalid component name %q: %w", component, err)
+	}
+	if !pubsub.IsLiteralTopic(topic) {
+		return fmt.Errorf("accada: invalid component name %q: wildcard suffix", component)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.bindings[component]; ok {

@@ -385,3 +385,23 @@ func TestExecutorReturnToRedoingRetriesReplacement(t *testing.T) {
 		t.Fatalf("post-recovery invocation = %+v", res)
 	}
 }
+
+func TestBindRejectsMalformedComponentNames(t *testing.T) {
+	live, d1, d2 := buildFig3(t)
+	m, err := NewManager(live, pubsub.New(), alphaCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "a//b", "a/", "/a", "*", "c1/*"} {
+		if err := m.Bind(bad, d1, d2); err == nil {
+			t.Errorf("component name %q accepted", bad)
+		}
+	}
+	// Slash-separated names are fine (they just nest the fault topic),
+	// and so is a "*" that the bus does not treat as a wildcard.
+	for _, ok := range []string{"pipeline/c3", "a/*/b"} {
+		if err := m.Bind(ok, d1, d2); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

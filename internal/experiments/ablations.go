@@ -272,43 +272,48 @@ func (r E8Row) String() string {
 		r.Strategy, r.Failures, r.ReplicaRounds, r.AvgRedundancy)
 }
 
+// e8FixedSizes are the fixed-dimensioning contenders of the E8 ablation.
+var e8FixedSizes = []int{3, 5, 7, 9}
+
 // RunE8 compares fixed dimensionings (the Boulding "Thermostat") with
 // the autonomic controller (the "Cell") on the same disturbance regime.
+// It is the single-worker case of RunE8Parallel, which degenerates to a
+// plain serial loop.
 func RunE8(steps int64, seed uint64) ([]E8Row, error) {
+	return RunE8Parallel(steps, seed, 1)
+}
+
+// e8Setup normalizes the regime shared by the serial and parallel paths.
+func e8Setup(steps int64) (int64, StormConfig) {
 	if steps <= 0 {
 		steps = 200_000
 	}
-	policy := redundancy.DefaultPolicy()
 	storms := DefaultFig7Storms()
 	storms.StormEvery = steps / 8
 	if storms.StormEvery < 2000 {
 		storms.StormEvery = 2000
 	}
+	return steps, storms
+}
 
-	var rows []E8Row
-	for _, n := range []int{3, 5, 7, 9} {
-		r, err := runFixed(steps, seed, n, storms)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
-	}
+// e8Autonomic runs the adaptive contender; like runFixed, it is an
+// independent trial seeded from scratch.
+func e8Autonomic(steps int64, seed uint64, storms StormConfig) (E8Row, error) {
 	res, err := RunAdaptive(AdaptiveRunConfig{
 		Steps:  steps,
 		Seed:   seed,
-		Policy: policy,
+		Policy: redundancy.DefaultPolicy(),
 		Storms: storms,
 	})
 	if err != nil {
-		return nil, err
+		return E8Row{}, err
 	}
-	rows = append(rows, E8Row{
+	return E8Row{
 		Strategy:      "autonomic",
 		Failures:      res.Failures,
 		ReplicaRounds: res.ReplicaRounds,
 		AvgRedundancy: float64(res.ReplicaRounds) / float64(res.Rounds),
-	})
-	return rows, nil
+	}, nil
 }
 
 // runFixed runs the same disturbance regime against a fixed-size organ.

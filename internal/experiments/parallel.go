@@ -1,0 +1,143 @@
+// Parallel experiment runtime: a worker-pool runner for the independent
+// replicas and configurations of the paper's sweeps (Fig. 4/5/6 grids,
+// E8 dimensioning trials, E9/E10 parameter sweeps, voting farms).
+//
+// Determinism is by construction, not by luck: every task derives its
+// randomness from the task's *index* (its own derived seed from
+// xrand.Seeds), never from the worker that happens to execute it, and
+// every task writes only its own slot of the result slice. A sweep run
+// on 16 workers is therefore byte-identical to the same sweep run
+// serially.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"aft/internal/xrand"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 mean one worker
+// per available CPU (GOMAXPROCS).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// RunParallel evaluates n independent tasks on a bounded worker pool and
+// returns their results in task order. workers <= 0 uses GOMAXPROCS; a
+// single worker degenerates to a plain serial loop. If any task fails,
+// the remaining tasks are abandoned (in-flight ones finish) and the
+// first error in task order is returned.
+func RunParallel[T any](n, workers int, task func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers = Workers(workers); workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := task(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		errMu  sync.Mutex
+		firstI int
+		firstE error
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := task(i)
+				if err != nil {
+					failed.Store(true)
+					errMu.Lock()
+					if firstE == nil || i < firstI {
+						firstI, firstE = i, err
+					}
+					errMu.Unlock()
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		return nil, firstE
+	}
+	return out, nil
+}
+
+// RunE9Parallel evaluates the E9 alpha-count grid across the pool. The
+// rows are identical to RunE9's for any worker count, because each cell
+// seeds its own generator from cfg.Seed.
+func RunE9Parallel(cfg E9Config, workers int) ([]E9Row, error) {
+	if err := e9Validate(cfg); err != nil {
+		return nil, err
+	}
+	nt := len(cfg.Thresholds)
+	return RunParallel(len(cfg.Ks)*nt, workers, func(i int) (E9Row, error) {
+		return e9Cell(cfg, cfg.Ks[i/nt], cfg.Thresholds[i%nt])
+	})
+}
+
+// RunE10Parallel evaluates the E10 hysteresis sweep across the pool,
+// producing the same rows as RunE10.
+func RunE10Parallel(steps int64, seed uint64, lowerAfters []int, workers int) ([]E10Row, error) {
+	steps, lowerAfters, storms := e10Setup(steps, lowerAfters)
+	return RunParallel(len(lowerAfters), workers, func(i int) (E10Row, error) {
+		return e10Row(steps, seed, storms, lowerAfters[i])
+	})
+}
+
+// RunE8Parallel evaluates the E8 dimensioning contenders (four fixed
+// organs plus the autonomic controller) across the pool, producing the
+// same rows as RunE8.
+func RunE8Parallel(steps int64, seed uint64, workers int) ([]E8Row, error) {
+	steps, storms := e8Setup(steps)
+	return RunParallel(len(e8FixedSizes)+1, workers, func(i int) (E8Row, error) {
+		if i < len(e8FixedSizes) {
+			return runFixed(steps, seed, e8FixedSizes[i], storms)
+		}
+		return e8Autonomic(steps, seed, storms)
+	})
+}
+
+// SweepSeeds runs the same adaptive configuration once per seed across
+// the pool — the independent-replica dimension of a Fig. 7-style
+// campaign. Result i always corresponds to seeds[i].
+func SweepSeeds(cfg AdaptiveRunConfig, seeds []uint64, workers int) ([]AdaptiveRunResult, error) {
+	return RunParallel(len(seeds), workers, func(i int) (AdaptiveRunResult, error) {
+		c := cfg
+		c.Seed = seeds[i]
+		return RunAdaptive(c)
+	})
+}
+
+// SweepReplicas runs n replicas of the same adaptive configuration with
+// seeds derived from cfg.Seed via xrand.Seeds. Replica i's seed depends
+// only on (cfg.Seed, i), so campaigns are reproducible end to end.
+func SweepReplicas(cfg AdaptiveRunConfig, n, workers int) ([]AdaptiveRunResult, error) {
+	return SweepSeeds(cfg, xrand.Seeds(cfg.Seed, n), workers)
+}

@@ -66,69 +66,76 @@ func DefaultE9Config() E9Config {
 // RunE9 sweeps the alpha-count parameters over two trace populations —
 // sparse transients (must stay transient) and a permanent-fault onset
 // (must flip, quickly) — quantifying the trade-off the paper's Fig. 4
-// operating point sits on.
+// operating point sits on. It is the single-worker case of
+// RunE9Parallel, which degenerates to a plain serial loop.
 func RunE9(cfg E9Config) ([]E9Row, error) {
+	return RunE9Parallel(cfg, 1)
+}
+
+// e9Validate checks the sweep-wide parameters.
+func e9Validate(cfg E9Config) error {
 	if cfg.Traces <= 0 || cfg.TraceLen <= 0 {
-		return nil, fmt.Errorf("experiments: E9 needs positive Traces and TraceLen")
+		return fmt.Errorf("experiments: E9 needs positive Traces and TraceLen")
 	}
-	var rows []E9Row
-	for _, k := range cfg.Ks {
-		for _, threshold := range cfg.Thresholds {
-			acfg := alphacount.Config{K: k, Threshold: threshold}
-			if _, err := alphacount.New(acfg); err != nil {
-				return nil, err
-			}
-			rng := xrand.New(cfg.Seed)
-			row := E9Row{K: k, Threshold: threshold}
+	return nil
+}
 
-			// Population 1: sparse transients.
-			falseCount := 0
-			for tr := 0; tr < cfg.Traces; tr++ {
-				f := alphacount.MustNew(acfg)
-				misjudged := false
-				for j := 0; j < cfg.TraceLen; j++ {
-					if f.Judge(rng.Bool(cfg.TransientP)) == alphacount.PermanentVerdict {
-						misjudged = true
-					}
-				}
-				if misjudged {
-					falseCount++
-				}
-			}
-			row.FalsePermanent = float64(falseCount) / float64(cfg.Traces)
+// e9Cell measures one (K, threshold) configuration. Every cell seeds its
+// own generator from cfg.Seed, so cells are independent and the grid can
+// be evaluated in any order — or in parallel — with identical results.
+func e9Cell(cfg E9Config, k, threshold float64) (E9Row, error) {
+	acfg := alphacount.Config{K: k, Threshold: threshold}
+	if _, err := alphacount.New(acfg); err != nil {
+		return E9Row{}, err
+	}
+	rng := xrand.New(cfg.Seed)
+	row := E9Row{K: k, Threshold: threshold}
 
-			// Population 2: permanent onset halfway through the trace.
-			missed := 0
-			totalLatency := 0
-			detected := 0
-			onset := cfg.TraceLen / 2
-			for tr := 0; tr < cfg.Traces; tr++ {
-				f := alphacount.MustNew(acfg)
-				flippedAt := -1
-				for j := 0; j < cfg.TraceLen; j++ {
-					fault := j >= onset // permanent: faults every judgment after onset
-					if !fault {
-						fault = rng.Bool(cfg.TransientP)
-					}
-					if f.Judge(fault) == alphacount.PermanentVerdict && flippedAt < 0 && j >= onset {
-						flippedAt = j
-					}
-				}
-				if flippedAt < 0 {
-					missed++
-				} else {
-					totalLatency += flippedAt - onset + 1
-					detected++
-				}
+	// Population 1: sparse transients.
+	falseCount := 0
+	for tr := 0; tr < cfg.Traces; tr++ {
+		f := alphacount.MustNew(acfg)
+		misjudged := false
+		for j := 0; j < cfg.TraceLen; j++ {
+			if f.Judge(rng.Bool(cfg.TransientP)) == alphacount.PermanentVerdict {
+				misjudged = true
 			}
-			row.MissedPermanent = float64(missed) / float64(cfg.Traces)
-			if detected > 0 {
-				row.MeanLatency = float64(totalLatency) / float64(detected)
-			}
-			rows = append(rows, row)
+		}
+		if misjudged {
+			falseCount++
 		}
 	}
-	return rows, nil
+	row.FalsePermanent = float64(falseCount) / float64(cfg.Traces)
+
+	// Population 2: permanent onset halfway through the trace.
+	missed := 0
+	totalLatency := 0
+	detected := 0
+	onset := cfg.TraceLen / 2
+	for tr := 0; tr < cfg.Traces; tr++ {
+		f := alphacount.MustNew(acfg)
+		flippedAt := -1
+		for j := 0; j < cfg.TraceLen; j++ {
+			fault := j >= onset // permanent: faults every judgment after onset
+			if !fault {
+				fault = rng.Bool(cfg.TransientP)
+			}
+			if f.Judge(fault) == alphacount.PermanentVerdict && flippedAt < 0 && j >= onset {
+				flippedAt = j
+			}
+		}
+		if flippedAt < 0 {
+			missed++
+		} else {
+			totalLatency += flippedAt - onset + 1
+			detected++
+		}
+	}
+	row.MissedPermanent = float64(missed) / float64(cfg.Traces)
+	if detected > 0 {
+		row.MeanLatency = float64(totalLatency) / float64(detected)
+	}
+	return row, nil
 }
 
 // RenderE9 prints the sweep.
@@ -168,6 +175,12 @@ func (r E10Row) String() string {
 // 1000: lower values shed redundancy faster (cheaper, riskier near storm
 // tails, more churn), higher values hold it longer (safer, costlier).
 func RunE10(steps int64, seed uint64, lowerAfters []int) ([]E10Row, error) {
+	return RunE10Parallel(steps, seed, lowerAfters, 1)
+}
+
+// e10Setup normalizes the sweep parameters shared by the serial and
+// parallel paths.
+func e10Setup(steps int64, lowerAfters []int) (int64, []int, StormConfig) {
 	if steps <= 0 {
 		steps = 200_000
 	}
@@ -179,28 +192,29 @@ func RunE10(steps int64, seed uint64, lowerAfters []int) ([]E10Row, error) {
 	if storms.StormEvery < 2000 {
 		storms.StormEvery = 2000
 	}
-	var rows []E10Row
-	for _, la := range lowerAfters {
-		policy := redundancy.DefaultPolicy()
-		policy.LowerAfter = la
-		res, err := RunAdaptive(AdaptiveRunConfig{
-			Steps:  steps,
-			Seed:   seed,
-			Policy: policy,
-			Storms: storms,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, E10Row{
-			LowerAfter:    la,
-			Failures:      res.Failures,
-			AvgRedundancy: float64(res.ReplicaRounds) / float64(res.Rounds),
-			Resizes:       res.Raises + res.Lowers,
-			MinFraction:   res.MinFraction,
-		})
+	return steps, lowerAfters, storms
+}
+
+// e10Row measures one LowerAfter setting; rows are independent runs.
+func e10Row(steps int64, seed uint64, storms StormConfig, la int) (E10Row, error) {
+	policy := redundancy.DefaultPolicy()
+	policy.LowerAfter = la
+	res, err := RunAdaptive(AdaptiveRunConfig{
+		Steps:  steps,
+		Seed:   seed,
+		Policy: policy,
+		Storms: storms,
+	})
+	if err != nil {
+		return E10Row{}, err
 	}
-	return rows, nil
+	return E10Row{
+		LowerAfter:    la,
+		Failures:      res.Failures,
+		AvgRedundancy: float64(res.ReplicaRounds) / float64(res.Rounds),
+		Resizes:       res.Raises + res.Lowers,
+		MinFraction:   res.MinFraction,
+	}, nil
 }
 
 // RenderE10 prints the sweep.

@@ -10,9 +10,11 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing count.
+// Counter is a monotonically increasing count. It is not safe for
+// concurrent use; hot shared paths should use AtomicCounter.
 type Counter struct {
 	n int64
 }
@@ -30,6 +32,27 @@ func (c *Counter) Add(delta int64) {
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n }
+
+// AtomicCounter is a monotonically increasing count safe for concurrent
+// use. The zero value is ready to use; it must not be copied after first
+// use.
+type AtomicCounter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *AtomicCounter) Inc() { c.n.Add(1) }
+
+// Add adds delta, which must be non-negative.
+func (c *AtomicCounter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: AtomicCounter.Add with negative delta")
+	}
+	c.n.Add(delta)
+}
+
+// Value returns the current count.
+func (c *AtomicCounter) Value() int64 { return c.n.Load() }
 
 // IntHistogram counts occurrences of integer-valued observations, such as
 // the redundancy degree in use at each simulated time step (Fig. 7).

@@ -1,0 +1,144 @@
+package pubsub
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestAsyncPerSubscriberOrdering(t *testing.T) {
+	b := New().Async(2048)
+	const subs, msgs = 4, 1000
+	got := make([][]int64, subs)
+	for i := 0; i < subs; i++ {
+		i := i
+		b.Subscribe("faults/*", func(m Message) { got[i] = append(got[i], m.Time) })
+	}
+	for j := 0; j < msgs; j++ {
+		b.Publish(Message{Topic: "faults/c1", Time: int64(j)})
+	}
+	b.Drain()
+	for i, seq := range got {
+		if len(seq) != msgs {
+			t.Fatalf("subscriber %d saw %d messages, want %d", i, len(seq), msgs)
+		}
+		for j, v := range seq {
+			if v != int64(j) {
+				t.Fatalf("subscriber %d out of order at %d: %v", i, j, v)
+			}
+		}
+	}
+	if dropped := b.Metrics().Dropped.Value(); dropped != 0 {
+		t.Fatalf("dropped %d with a roomy queue", dropped)
+	}
+	if enq := b.Metrics().Enqueued.Value(); enq != subs*msgs {
+		t.Fatalf("enqueued %d, want %d", enq, subs*msgs)
+	}
+}
+
+func TestAsyncDropsWhenQueueFull(t *testing.T) {
+	const capacity = 4
+	b := New().Async(capacity)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	handled := 0
+	b.Subscribe("t", func(Message) {
+		started <- struct{}{}
+		<-release
+		handled++
+	})
+	// First message occupies the worker; wait until it is being handled
+	// so the queue is empty again.
+	b.Publish(Message{Topic: "t"})
+	<-started
+	// Fill the queue exactly, then overflow it.
+	const overflow = 3
+	for i := 0; i < capacity+overflow; i++ {
+		b.Publish(Message{Topic: "t"})
+	}
+	if dropped := b.Metrics().Dropped.Value(); dropped != overflow {
+		t.Fatalf("dropped %d, want %d", dropped, overflow)
+	}
+	close(release)
+	for i := 0; i < capacity; i++ {
+		<-started
+	}
+	b.Drain()
+	if handled != 1+capacity {
+		t.Fatalf("handled %d, want %d", handled, 1+capacity)
+	}
+	// Matches are counted even when the queue rejects them.
+	if _, delivered := b.Stats(); delivered != 1+capacity+overflow {
+		t.Fatalf("delivered %d, want %d", delivered, 1+capacity+overflow)
+	}
+}
+
+func TestAsyncUnsubscribeStopsDelivery(t *testing.T) {
+	b := New().Async(16)
+	var mu sync.Mutex
+	n := 0
+	sub := b.Subscribe("t", func(Message) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	b.Publish(Message{Topic: "t"})
+	b.Drain()
+	if !b.Unsubscribe(sub) {
+		t.Fatal("Unsubscribe returned false")
+	}
+	if b.Publish(Message{Topic: "t"}) != 0 {
+		t.Fatal("unsubscribed handler still matched")
+	}
+	b.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 1 {
+		t.Fatalf("handler ran %d times, want 1", n)
+	}
+}
+
+func TestAsyncClose(t *testing.T) {
+	b := New().Async(64)
+	var mu sync.Mutex
+	n := 0
+	for i := 0; i < 8; i++ {
+		b.Subscribe(fmt.Sprintf("t/%d", i), func(Message) {
+			mu.Lock()
+			n++
+			mu.Unlock()
+		})
+	}
+	for i := 0; i < 8; i++ {
+		b.Publish(Message{Topic: fmt.Sprintf("t/%d", i)})
+	}
+	b.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 8 {
+		t.Fatalf("close lost deliveries: handled %d, want 8", n)
+	}
+	if b.SubscriberCount() != 0 {
+		t.Fatalf("SubscriberCount after Close = %d", b.SubscriberCount())
+	}
+}
+
+func TestAsyncAfterSubscribePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Async after Subscribe accepted")
+		}
+	}()
+	b := New()
+	b.Subscribe("t", func(Message) {})
+	b.Async(1)
+}
+
+func TestAsyncZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Async(0) accepted")
+		}
+	}()
+	New().Async(0)
+}

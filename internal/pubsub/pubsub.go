@@ -3,15 +3,30 @@
 // supporting middleware component receives notifications regarding the
 // faults being detected by the main components of the software system."
 //
-// Delivery is synchronous and in subscription order, which keeps the
-// simulated experiments fully deterministic; the bus is nevertheless safe
-// for concurrent use by live components.
+// The bus is sharded and topic-indexed so that publishing costs
+// O(matching subscriptions), not O(all subscriptions): subscriptions are
+// bucketed by the topic's first segment into per-shard RWMutex-guarded
+// maps, with exact patterns in a topic-keyed map, "a/b/*" patterns in a
+// prefix-keyed segment index, and "*" patterns in a small global list.
+//
+// Delivery is synchronous and in subscription order by default, which
+// keeps the simulated experiments fully deterministic; the bus is safe
+// for concurrent use by live components. Async(n) switches the bus to
+// bounded-queue asynchronous delivery with one queue (and one worker)
+// per subscriber, preserving per-subscriber ordering while decoupling
+// publishers from slow handlers; queue overflow drops the message for
+// that subscriber and counts it in Metrics().Dropped.
 package pubsub
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"aft/internal/metrics"
 )
 
 // Message is one published notification.
@@ -27,34 +42,122 @@ type Message struct {
 // Handler consumes messages.
 type Handler func(Message)
 
+// numShards buckets subscriptions by the hash of the topic's first
+// segment. Must be a power of two.
+const numShards = 16
+
+// bucketKind locates a subscription inside its shard.
+type bucketKind uint8
+
+const (
+	bucketExact  bucketKind = iota // pattern with no wildcard, keyed by topic
+	bucketPrefix                   // "a/b/*" pattern, keyed by the prefix "a/b"
+	bucketStar                     // the global "*" list
+)
+
 // Subscription identifies an active subscription.
 type Subscription struct {
 	id      uint64
 	pattern string
+	bus     *Bus
+	kind    bucketKind
+	key     string // bucket key (exact topic or prefix)
 }
 
 // Pattern returns the topic pattern the subscription was created with.
 func (s *Subscription) Pattern() string { return s.pattern }
 
-// Bus is a topic-based publish/subscribe broker.
-type Bus struct {
-	mu     sync.Mutex
-	nextID uint64
-	subs   []subEntry
-
-	published int64
-	delivered int64
-}
-
+// subEntry is the bus-side record of a subscription.
 type subEntry struct {
 	id      uint64
 	pattern string
 	fn      Handler
+	q       *subQueue // nil in synchronous mode
 }
 
-// New returns an empty bus.
+// subQueue is the bounded per-subscriber delivery queue of async mode.
+// The mutex makes closing the channel safe against concurrent enqueues.
+type subQueue struct {
+	mu     sync.RWMutex
+	closed bool
+	ch     chan Message
+	done   chan struct{}
+}
+
+// shard holds the subscriptions whose patterns share a first-segment
+// hash.
+type shard struct {
+	mu     sync.RWMutex
+	exact  map[string][]*subEntry
+	prefix map[string][]*subEntry
+}
+
+// BusMetrics exposes the bus's counters.
+type BusMetrics struct {
+	// Published counts Publish calls.
+	Published metrics.AtomicCounter
+	// Delivered counts matched subscriptions per publish (in async mode
+	// a match that overflows its queue still counts here and in Dropped).
+	Delivered metrics.AtomicCounter
+	// Enqueued counts async deliveries accepted into a subscriber queue.
+	Enqueued metrics.AtomicCounter
+	// Dropped counts async deliveries that were matched but not
+	// enqueued — the queue was full (backpressure), or the subscription
+	// was closed by a concurrent Unsubscribe. Enqueued + Dropped always
+	// equals Delivered in async mode.
+	Dropped metrics.AtomicCounter
+}
+
+// Bus is a topic-based publish/subscribe broker.
+type Bus struct {
+	shards [numShards]shard
+	starMu sync.RWMutex
+	star   []*subEntry
+
+	nextID atomic.Uint64
+	m      BusMetrics
+
+	// queueCap > 0 switches the bus to async delivery. Set by Async
+	// before the bus is shared; read-only afterwards.
+	queueCap int
+	// pending tracks in-flight async deliveries for Drain.
+	pending sync.WaitGroup
+}
+
+// New returns an empty synchronous bus.
 func New() *Bus {
 	return &Bus{}
+}
+
+// Async switches the bus to asynchronous delivery with a bounded queue
+// of n messages per subscriber and returns the bus. Each subscriber gets
+// a dedicated worker goroutine, so per-subscriber ordering matches
+// enqueue order; when a queue is full the message is dropped for that
+// subscriber and counted in Metrics().Dropped. Async must be called
+// before the first Subscribe and before the bus is shared between
+// goroutines.
+func (b *Bus) Async(n int) *Bus {
+	if n <= 0 {
+		panic("pubsub: Async with non-positive queue capacity")
+	}
+	if b.SubscriberCount() > 0 {
+		panic("pubsub: Async must be called before Subscribe")
+	}
+	b.queueCap = n
+	return b
+}
+
+// shardIndex hashes the first segment of a topic or bucket key (FNV-1a),
+// so a pattern and every topic it can match land in the same shard.
+func shardIndex(s string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			break
+		}
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return int(h & (numShards - 1))
 }
 
 // Subscribe registers fn for every message whose topic matches pattern.
@@ -65,62 +168,264 @@ func (b *Bus) Subscribe(pattern string, fn Handler) *Subscription {
 	if fn == nil {
 		panic("pubsub: Subscribe with nil handler")
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.nextID++
-	b.subs = append(b.subs, subEntry{id: b.nextID, pattern: pattern, fn: fn})
-	return &Subscription{id: b.nextID, pattern: pattern}
+	e := &subEntry{pattern: pattern, fn: fn}
+	if b.queueCap > 0 {
+		e.q = &subQueue{ch: make(chan Message, b.queueCap), done: make(chan struct{})}
+		go e.run(b)
+	}
+	sub := &Subscription{pattern: pattern, bus: b}
+	// The id is drawn while holding the bucket lock so that ids within a
+	// bucket are always in insertion order; match() relies on this to
+	// skip sorting when a single bucket matches.
+	switch {
+	case pattern == "*":
+		sub.kind = bucketStar
+		b.starMu.Lock()
+		e.id = b.nextID.Add(1)
+		b.star = append(b.star, e)
+		b.starMu.Unlock()
+	default:
+		if prefix, ok := strings.CutSuffix(pattern, "/*"); ok {
+			sub.kind, sub.key = bucketPrefix, prefix
+		} else {
+			sub.kind, sub.key = bucketExact, pattern
+		}
+		sh := &b.shards[shardIndex(sub.key)]
+		sh.mu.Lock()
+		e.id = b.nextID.Add(1)
+		m := sh.bucket(sub.kind)
+		if *m == nil {
+			*m = make(map[string][]*subEntry)
+		}
+		(*m)[sub.key] = append((*m)[sub.key], e)
+		sh.mu.Unlock()
+	}
+	sub.id = e.id
+	return sub
+}
+
+// bucket returns the shard's map for the given kind. Call with the shard
+// lock held.
+func (sh *shard) bucket(kind bucketKind) *map[string][]*subEntry {
+	if kind == bucketPrefix {
+		return &sh.prefix
+	}
+	return &sh.exact
 }
 
 // Unsubscribe removes a subscription. It reports whether the
-// subscription was active.
+// subscription was active. In async mode, messages already queued for
+// the subscriber are still delivered by its draining worker.
 func (b *Bus) Unsubscribe(s *Subscription) bool {
-	if s == nil {
+	if s == nil || s.bus != b {
 		return false
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for i, e := range b.subs {
-		if e.id == s.id {
-			b.subs = append(b.subs[:i], b.subs[i+1:]...)
-			return true
+	var removed *subEntry
+	if s.kind == bucketStar {
+		b.starMu.Lock()
+		for i, e := range b.star {
+			if e.id == s.id {
+				removed = e
+				b.star = append(b.star[:i], b.star[i+1:]...)
+				break
+			}
 		}
+		b.starMu.Unlock()
+	} else {
+		sh := &b.shards[shardIndex(s.key)]
+		sh.mu.Lock()
+		m := *sh.bucket(s.kind)
+		for i, e := range m[s.key] {
+			if e.id == s.id {
+				removed = e
+				if rest := append(m[s.key][:i], m[s.key][i+1:]...); len(rest) > 0 {
+					m[s.key] = rest
+				} else {
+					delete(m, s.key)
+				}
+				break
+			}
+		}
+		sh.mu.Unlock()
 	}
-	return false
+	if removed == nil {
+		return false
+	}
+	if removed.q != nil {
+		removed.q.close()
+	}
+	return true
 }
 
-// Publish delivers msg synchronously to every matching subscriber in
-// subscription order and returns the number of deliveries.
+// Publish delivers msg to every matching subscriber — synchronously and
+// in subscription order by default, or onto per-subscriber queues in
+// async mode — and returns the number of matching subscriptions.
 func (b *Bus) Publish(msg Message) int {
-	b.mu.Lock()
-	matching := make([]Handler, 0, 4)
-	for _, e := range b.subs {
-		if topicMatches(e.pattern, msg.Topic) {
-			matching = append(matching, e.fn)
+	matched := b.match(msg.Topic)
+	b.m.Published.Inc()
+	b.m.Delivered.Add(int64(len(matched)))
+	for _, e := range matched {
+		e.deliver(b, msg)
+	}
+	return len(matched)
+}
+
+// match collects the subscriptions matching topic, in subscription
+// order. Handlers are never invoked under the shard locks, so handlers
+// may freely publish, subscribe, and unsubscribe.
+func (b *Bus) match(topic string) []*subEntry {
+	var out []*subEntry
+	sources := 0
+	sh := &b.shards[shardIndex(topic)]
+	sh.mu.RLock()
+	if es := sh.exact[topic]; len(es) > 0 {
+		out = append(out, es...)
+		sources++
+	}
+	if sh.prefix != nil {
+		for i := 0; i < len(topic); i++ {
+			if topic[i] != '/' {
+				continue
+			}
+			if es := sh.prefix[topic[:i]]; len(es) > 0 {
+				out = append(out, es...)
+				sources++
+			}
 		}
 	}
-	b.published++
-	b.delivered += int64(len(matching))
-	b.mu.Unlock()
-
-	for _, fn := range matching {
-		fn(msg)
+	sh.mu.RUnlock()
+	b.starMu.RLock()
+	if len(b.star) > 0 {
+		out = append(out, b.star...)
+		sources++
 	}
-	return len(matching)
+	b.starMu.RUnlock()
+	// Each source is already in subscription (id) order; restore the
+	// global order only when several sources contributed.
+	if sources > 1 {
+		slices.SortFunc(out, func(a, b *subEntry) int { return cmp.Compare(a.id, b.id) })
+	}
+	return out
+}
+
+// deliver hands msg to one subscriber.
+func (e *subEntry) deliver(b *Bus, msg Message) {
+	if e.q == nil {
+		e.fn(msg)
+		return
+	}
+	e.q.mu.RLock()
+	defer e.q.mu.RUnlock()
+	if e.q.closed {
+		b.m.Dropped.Inc()
+		return
+	}
+	b.pending.Add(1)
+	select {
+	case e.q.ch <- msg:
+		b.m.Enqueued.Inc()
+	default:
+		b.pending.Done()
+		b.m.Dropped.Inc()
+	}
+}
+
+// run is the async worker: it drains the subscriber's queue in order.
+func (e *subEntry) run(b *Bus) {
+	for msg := range e.q.ch {
+		e.fn(msg)
+		b.pending.Done()
+	}
+	close(e.q.done)
+}
+
+// close marks the queue closed so publishers stop enqueueing, letting
+// the worker drain what is already buffered and exit.
+func (q *subQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// Drain blocks until every async delivery enqueued so far has been
+// handled. Call it only after publishers have quiesced; it is a no-op on
+// a synchronous bus. It must not be called from inside an async handler:
+// the in-flight message being handled counts as pending, so the handler
+// would wait on itself.
+func (b *Bus) Drain() {
+	b.pending.Wait()
+}
+
+// Close removes every subscription and, in async mode, waits for all
+// queued deliveries to finish and all workers to exit. The bus stays
+// usable but empty. Like Drain, it must not be called from inside an
+// async handler: it waits for that handler's own worker to exit.
+func (b *Bus) Close() {
+	var entries []*subEntry
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for _, m := range []map[string][]*subEntry{sh.exact, sh.prefix} {
+			for k, es := range m {
+				entries = append(entries, es...)
+				delete(m, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	b.starMu.Lock()
+	entries = append(entries, b.star...)
+	b.star = nil
+	b.starMu.Unlock()
+	for _, e := range entries {
+		if e.q != nil {
+			e.q.close()
+			<-e.q.done
+		}
+	}
 }
 
 // Stats reports how many messages were published and delivered.
 func (b *Bus) Stats() (published, delivered int64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.published, b.delivered
+	return b.m.Published.Value(), b.m.Delivered.Value()
+}
+
+// Metrics returns the bus's counters, including the async drop and
+// backpressure counters.
+func (b *Bus) Metrics() *BusMetrics {
+	return &b.m
 }
 
 // SubscriberCount reports the number of active subscriptions.
 func (b *Bus) SubscriberCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.subs)
+	n := 0
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		for _, es := range sh.exact {
+			n += len(es)
+		}
+		for _, es := range sh.prefix {
+			n += len(es)
+		}
+		sh.mu.RUnlock()
+	}
+	b.starMu.RLock()
+	n += len(b.star)
+	b.starMu.RUnlock()
+	return n
+}
+
+// IsLiteralTopic reports whether s is matched only as an exact topic —
+// that is, Subscribe would not interpret it as a wildcard pattern.
+// Callers that derive subscription topics from external names (such as
+// accada's per-component fault topics) use this to refuse names that
+// would silently widen into pattern subscriptions.
+func IsLiteralTopic(s string) bool {
+	return s != "*" && !strings.HasSuffix(s, "/*")
 }
 
 // topicMatches implements the pattern language.

@@ -1,0 +1,147 @@
+package pubsub
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aft/internal/xrand"
+)
+
+// TestConcurrentSubscribeUnsubscribeDuringPublish hammers the bus from
+// three directions at once; run with -race. The assertions are
+// conservative (churning subscriptions make exact delivery counts
+// nondeterministic), but the stable subscriber must see every message.
+func TestConcurrentSubscribeUnsubscribeDuringPublish(t *testing.T) {
+	b := New()
+	var stable atomic.Int64
+	b.Subscribe("faults/*", func(Message) { stable.Add(1) })
+
+	const publishers, churners, msgs = 4, 4, 500
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				b.Publish(Message{Topic: fmt.Sprintf("faults/c%d", p)})
+			}
+		}()
+	}
+	for c := 0; c < churners; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				pattern := fmt.Sprintf("faults/c%d", (c+i)%publishers)
+				if i%3 == 0 {
+					pattern = "*"
+				}
+				sub := b.Subscribe(pattern, func(Message) {})
+				if !b.Unsubscribe(sub) {
+					t.Error("Unsubscribe lost an active subscription")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := stable.Load(); got != publishers*msgs {
+		t.Fatalf("stable subscriber saw %d of %d messages", got, publishers*msgs)
+	}
+	if b.SubscriberCount() != 1 {
+		t.Fatalf("SubscriberCount = %d after churn, want 1", b.SubscriberCount())
+	}
+}
+
+// TestConcurrentAsyncPublish checks the async accounting invariant under
+// concurrent publishers: every match is either enqueued or dropped, and
+// every enqueued message is eventually handled.
+func TestConcurrentAsyncPublish(t *testing.T) {
+	b := New().Async(8)
+	var handled atomic.Int64
+	for i := 0; i < 4; i++ {
+		b.Subscribe("t/*", func(Message) { handled.Add(1) })
+	}
+	var wg sync.WaitGroup
+	const publishers, msgs = 8, 300
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				b.Publish(Message{Topic: "t/x"})
+			}
+		}()
+	}
+	wg.Wait()
+	b.Drain()
+	m := b.Metrics()
+	if m.Enqueued.Value()+m.Dropped.Value() != m.Delivered.Value() {
+		t.Fatalf("accounting broken: enqueued %d + dropped %d != delivered %d",
+			m.Enqueued.Value(), m.Dropped.Value(), m.Delivered.Value())
+	}
+	if handled.Load() != m.Enqueued.Value() {
+		t.Fatalf("handled %d != enqueued %d", handled.Load(), m.Enqueued.Value())
+	}
+}
+
+// TestIndexMatchesOracle cross-checks the sharded index against the
+// plain pattern-language oracle on randomized pattern/topic pairs.
+func TestIndexMatchesOracle(t *testing.T) {
+	rng := xrand.New(99)
+	segs := []string{"faults", "votes", "adaptation", "c1", "c2", "deep", "x"}
+	randTopic := func(allowPattern bool) string {
+		n := 1 + rng.Intn(3)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = segs[rng.Intn(len(segs))]
+		}
+		s := ""
+		for i, p := range parts {
+			if i > 0 {
+				s += "/"
+			}
+			s += p
+		}
+		if allowPattern {
+			switch rng.Intn(4) {
+			case 0:
+				return "*"
+			case 1:
+				return s + "/*"
+			}
+		}
+		return s
+	}
+	for trial := 0; trial < 200; trial++ {
+		b := New()
+		patterns := make([]string, 1+rng.Intn(20))
+		matched := make([]int, len(patterns))
+		for i := range patterns {
+			i := i
+			patterns[i] = randTopic(true)
+			b.Subscribe(patterns[i], func(Message) { matched[i]++ })
+		}
+		topic := randTopic(false)
+		n := b.Publish(Message{Topic: topic})
+		want := 0
+		for i, p := range patterns {
+			expect := 0
+			if topicMatches(p, topic) {
+				expect = 1
+				want++
+			}
+			if matched[i] != expect {
+				t.Fatalf("pattern %q vs topic %q: handler ran %d times, oracle says %d",
+					p, topic, matched[i], expect)
+			}
+		}
+		if n != want {
+			t.Fatalf("Publish(%q) = %d matches, oracle says %d", topic, n, want)
+		}
+	}
+}

@@ -64,6 +64,19 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64())
 }
 
+// Seeds derives n independent seeds from root through SplitMix64. The
+// result is a pure function of root, so replica i of a parallel
+// experiment campaign gets the same seed no matter how many workers run
+// the campaign or in what order tasks complete.
+func Seeds(root uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	sm := root
+	for i := range out {
+		sm, out[i] = splitMix64(sm)
+	}
+	return out
+}
+
 // Float64 returns a uniformly distributed value in [0, 1).
 func (r *Rand) Float64() float64 {
 	// Use the top 53 bits for a full-precision mantissa.

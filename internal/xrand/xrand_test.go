@@ -255,3 +255,29 @@ func BenchmarkFloat64(b *testing.B) {
 		_ = r.Float64()
 	}
 }
+
+func TestSeedsDeterministicAndDistinct(t *testing.T) {
+	a := Seeds(1906, 16)
+	b := Seeds(1906, 16)
+	if len(a) != 16 {
+		t.Fatalf("len = %d", len(a))
+	}
+	seen := map[uint64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d not deterministic: %d vs %d", i, a[i], b[i])
+		}
+		if seen[a[i]] {
+			t.Fatalf("seed %d repeats value %d", i, a[i])
+		}
+		seen[a[i]] = true
+	}
+	// A prefix of a longer derivation is the same sequence: replica i's
+	// seed depends only on (root, i), not on the replica count.
+	long := Seeds(1906, 64)
+	for i := range a {
+		if long[i] != a[i] {
+			t.Fatalf("seed %d changed with n: %d vs %d", i, long[i], a[i])
+		}
+	}
+}
