@@ -13,6 +13,7 @@ import (
 
 	"aft/internal/experiments"
 	"aft/internal/pubsub"
+	"aft/internal/redundancy"
 	"aft/internal/simclock"
 	"aft/internal/voting"
 	"aft/internal/xrand"
@@ -169,6 +170,81 @@ func BenchmarkE10HysteresisSweep(b *testing.B) {
 }
 
 // --- microbenchmarks on the hot paths ----------------------------------
+
+// BenchmarkAdaptiveRound measures one round of the fused §3.3 campaign
+// engine — storm draw, first-K corruption, vote, controller observation
+// — the operation the 65-million-round Fig. 7 campaign repeats. The
+// consensus path must report 0 allocs/op (also asserted by
+// TestCampaignStepZeroAlloc); compare with
+// BenchmarkAdaptiveRoundReference for the seed path.
+func BenchmarkAdaptiveRound(b *testing.B) {
+	eng, err := experiments.NewCampaign(experiments.DefaultFig7Config(1_000_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// benchSwitchboard builds the 3-replica switchboard both consensus-step
+// benchmarks share.
+func benchSwitchboard(b *testing.B) *redundancy.Switchboard {
+	b.Helper()
+	farm, err := voting.NewFarm(3, func(v uint64) uint64 { return v })
+	if err != nil {
+		b.Fatal(err)
+	}
+	sb, err := redundancy.NewSwitchboard(farm, redundancy.DefaultPolicy(), []byte("bench-key"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sb
+}
+
+// BenchmarkConsensusStep measures the engine's consensus step through
+// the switchboard (reusable ballot buffer, map-free tally): the exact
+// work BenchmarkConsensusStepReference does on the seed path, minus the
+// garbage. Must report 0 allocs/op.
+func BenchmarkConsensusStep(b *testing.B) {
+	sb := benchSwitchboard(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb.StepFirstK(uint64(i), 0, nil)
+	}
+}
+
+// BenchmarkConsensusStepReference measures the seed per-round path on
+// the same consensus round: a fresh ballot slice every round through
+// Switchboard.Step.
+func BenchmarkConsensusStepReference(b *testing.B) {
+	sb := benchSwitchboard(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb.Step(uint64(i), nil, nil)
+	}
+}
+
+// BenchmarkFig7HistogramReference regenerates the 1M-round Fig. 7
+// campaign on the retained pre-engine loop, so `go test -bench Fig7`
+// shows the engine gain end to end.
+func BenchmarkFig7HistogramReference(b *testing.B) {
+	cfg := experiments.DefaultFig7Config(1_000_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAdaptiveReference(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failures != 0 {
+			b.Fatalf("failures %d", res.Failures)
+		}
+	}
+}
 
 // BenchmarkVotingRoundConsensus measures one clean voting round, the
 // dominant operation of the Fig. 7 run.

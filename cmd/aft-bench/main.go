@@ -4,18 +4,29 @@
 //
 // Usage:
 //
-//	aft-bench [-fig 4|5|6|7|e5|e6|e7|e8|all] [-steps N] [-seed S] [-parallel W]
+//	aft-bench [-fig 4|5|6|7|e5|e6|e7|e8|bench7|all] [-steps N] [-seed S]
+//	          [-parallel W] [-bench-out FILE]
 //
 // -steps applies to the Fig. 7 run; pass 65000000 for the paper's full
 // 65-million-step experiment. -parallel runs the independent-trial
 // sweeps (E8, E9, E10) on a worker pool of W goroutines (0 = one per
 // CPU); results are byte-identical to the serial run.
+//
+// -fig bench7 times the §3.3 campaign hot path on both the fused
+// zero-allocation engine and the pre-engine reference loop, and writes a
+// JSON snapshot (ns/round, allocs/round, rounds/sec, speedup) to
+// -bench-out so the perf trajectory is tracked PR over PR. It is not
+// part of "all".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"time"
 
 	"aft/internal/experiments"
 )
@@ -27,10 +38,11 @@ func main() {
 }
 
 func run() error {
-	fig := flag.String("fig", "all", "which artefact to regenerate: 4, 5, 6, 7, e5..e10, all")
+	fig := flag.String("fig", "all", "which artefact to regenerate: 4, 5, 6, 7, e5..e10, bench7, all")
 	steps := flag.Int64("steps", 2_000_000, "rounds for the Fig. 7 run (paper: 65000000)")
 	seed := flag.Uint64("seed", 1906, "random seed")
 	parallel := flag.Int("parallel", 1, "worker pool for the E8/E9/E10 sweeps: 1 = serial, 0 = one per CPU, N = N workers")
+	benchOut := flag.String("bench-out", "BENCH_fig7.json", "where -fig bench7 writes its JSON snapshot")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -121,6 +133,9 @@ func run() error {
 			fmt.Print(experiments.RenderE10(rows))
 			return nil
 		},
+		"bench7": func() error {
+			return runBench7(*steps, *seed, *benchOut)
+		},
 	}
 
 	order := []string{"4", "5", "6", "7", "e5", "e6", "e7", "e8", "e9", "e10"}
@@ -141,5 +156,119 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// benchSnapshot is the BENCH_fig7.json schema: the §3.3 campaign hot
+// path measured on the fused engine and the reference loop, plus the
+// campaign's own sanity metrics so a perf gain that breaks the science
+// is visible in the same file.
+type benchSnapshot struct {
+	Experiment string `json:"experiment"`
+	Steps      int64  `json:"steps"`
+	Seed       uint64 `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	Engine    benchRow `json:"engine"`
+	Reference benchRow `json:"reference"`
+	// Speedup is reference ns/round over engine ns/round.
+	Speedup float64 `json:"speedup"`
+
+	// Campaign sanity: both paths must agree on these.
+	Failures      int64   `json:"failures"`
+	Resizes       int64   `json:"resizes"`
+	TimeAtMinimum float64 `json:"time_at_min_redundancy"`
+}
+
+// benchRow is one engine's measurement.
+type benchRow struct {
+	NsPerRound     float64 `json:"ns_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	BytesPerRound  float64 `json:"bytes_per_round"`
+	RoundsPerSec   float64 `json:"rounds_per_sec"`
+}
+
+// measureCampaign times fn over steps rounds, reporting per-round cost
+// from wall time and the allocator's own counters.
+func measureCampaign(steps int64, fn func() error) (benchRow, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	if err := fn(); err != nil {
+		return benchRow{}, err
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	fsteps := float64(steps)
+	return benchRow{
+		NsPerRound:     float64(elapsed.Nanoseconds()) / fsteps,
+		AllocsPerRound: float64(m1.Mallocs-m0.Mallocs) / fsteps,
+		BytesPerRound:  float64(m1.TotalAlloc-m0.TotalAlloc) / fsteps,
+		RoundsPerSec:   fsteps / elapsed.Seconds(),
+	}, nil
+}
+
+// runBench7 benchmarks the Fig. 7 campaign on both engines and writes
+// the snapshot.
+func runBench7(steps int64, seed uint64, out string) error {
+	cfg := experiments.DefaultFig7Config(steps)
+	cfg.Seed = seed
+	snap := benchSnapshot{
+		Experiment: "fig7-adaptive-campaign",
+		Steps:      cfg.Steps,
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	fmt.Printf("bench7: %d rounds per engine (seed %d)\n", cfg.Steps, cfg.Seed)
+	// Both timed regions include campaign construction and result
+	// folding, so the rows are like-for-like even at small -steps.
+	var engRes, refRes experiments.AdaptiveRunResult
+	var resizes int64
+	var err error
+	snap.Engine, err = measureCampaign(cfg.Steps, func() error {
+		eng, err := experiments.NewCampaign(cfg)
+		if err != nil {
+			return err
+		}
+		eng.Run(cfg.Steps)
+		engRes = eng.Result()
+		resizes = eng.Switchboard().Resizes()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	snap.Reference, err = measureCampaign(cfg.Steps, func() error {
+		var err error
+		refRes, err = experiments.RunAdaptiveReference(cfg)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if a, b := experiments.RenderFig7(engRes, cfg.Policy.Min),
+		experiments.RenderFig7(refRes, cfg.Policy.Min); a != b {
+		return fmt.Errorf("bench7: engine and reference transcripts diverge — refusing to snapshot")
+	}
+	snap.Speedup = snap.Reference.NsPerRound / snap.Engine.NsPerRound
+	snap.Failures = engRes.Failures
+	snap.Resizes = resizes
+	snap.TimeAtMinimum = engRes.MinFraction
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("engine:    %8.1f ns/round  %6.4f allocs/round  %12.0f rounds/sec\n",
+		snap.Engine.NsPerRound, snap.Engine.AllocsPerRound, snap.Engine.RoundsPerSec)
+	fmt.Printf("reference: %8.1f ns/round  %6.4f allocs/round  %12.0f rounds/sec\n",
+		snap.Reference.NsPerRound, snap.Reference.AllocsPerRound, snap.Reference.RoundsPerSec)
+	fmt.Printf("speedup:   %.2fx  (snapshot written to %s)\n", snap.Speedup, out)
 	return nil
 }

@@ -8,10 +8,17 @@
 // summaries plus the aggregate; replica i's result depends only on
 // (seed, i), never on the worker count.
 //
+// Single runs execute on the fused zero-allocation campaign engine by
+// default; -engine reference selects the pre-engine loop for
+// differential runs. The header line names the engine; everything below
+// it (the Fig. 6/7 transcripts) is byte-identical across engines, so
+// compare with `diff <(aft-sim ... | tail -n +2) <(aft-sim -engine
+// reference ... | tail -n +2)`.
+//
 // Usage:
 //
 //	aft-sim [-steps N] [-seed S] [-sample K] [-storm-every N] [-max-level L]
-//	        [-replicas R] [-parallel W]
+//	        [-replicas R] [-parallel W] [-engine fused|reference]
 package main
 
 import (
@@ -38,7 +45,17 @@ func run() error {
 	maxLevel := flag.Int("max-level", 4, "maximum storm intensity level")
 	replicas := flag.Int("replicas", 1, "independent replicas of the campaign")
 	parallel := flag.Int("parallel", 0, "worker pool for replicas (0 = one per CPU)")
+	engine := flag.String("engine", "fused", "campaign engine for single runs: fused (zero-alloc) or reference (pre-engine loop)")
 	flag.Parse()
+
+	runCampaign := experiments.RunAdaptive
+	switch *engine {
+	case "fused":
+	case "reference":
+		runCampaign = experiments.RunAdaptiveReference
+	default:
+		return fmt.Errorf("unknown engine %q (want fused or reference)", *engine)
+	}
 
 	cfg := experiments.DefaultFig7Config(*steps)
 	cfg.Seed = *seed
@@ -49,12 +66,18 @@ func run() error {
 	cfg.Storms.MaxLevel = *maxLevel
 
 	if *replicas > 1 {
+		// The sweep rides the fused engine; refuse the conflicting flag
+		// rather than silently ignoring it (transcripts are
+		// engine-independent, but a differential run should say so).
+		if *engine != "fused" {
+			return fmt.Errorf("-engine %s applies to single runs only; the -replicas sweep always uses the fused engine", *engine)
+		}
 		return runReplicas(cfg, *replicas, *parallel)
 	}
 
-	fmt.Printf("running %d rounds (seed %d, storms every %d rounds, max level %d)\n",
-		cfg.Steps, cfg.Seed, cfg.Storms.StormEvery, cfg.Storms.MaxLevel)
-	res, err := experiments.RunAdaptive(cfg)
+	fmt.Printf("running %d rounds (seed %d, storms every %d rounds, max level %d, %s engine)\n",
+		cfg.Steps, cfg.Seed, cfg.Storms.StormEvery, cfg.Storms.MaxLevel, *engine)
+	res, err := runCampaign(cfg)
 	if err != nil {
 		return err
 	}

@@ -317,8 +317,13 @@ func e8Autonomic(steps int64, seed uint64, storms StormConfig) (E8Row, error) {
 }
 
 // runFixed runs the same disturbance regime against a fixed-size organ.
+// Like the campaign engine it rides the first-K fast path, so the fixed
+// contenders cost no per-round garbage either.
 func runFixed(steps int64, seed uint64, n int, stormCfg StormConfig) (E8Row, error) {
-	farm, err := voting.NewFarm(n, func(v uint64) uint64 { return v })
+	if err := stormCfg.Validate(); err != nil {
+		return E8Row{}, err
+	}
+	farm, err := voting.NewFarm(n, identity)
 	if err != nil {
 		return E8Row{}, err
 	}
@@ -327,13 +332,7 @@ func runFixed(steps int64, seed uint64, n int, stormCfg StormConfig) (E8Row, err
 	corruptRng := rng.Split()
 	row := E8Row{Strategy: fmt.Sprintf("fixed n=%d", n)}
 	for step := int64(0); step < steps; step++ {
-		k := env.corruptions(step)
-		var corrupted func(i int) bool
-		if k > 0 {
-			kk := k
-			corrupted = func(i int) bool { return i < kk }
-		}
-		o := farm.Round(uint64(step), corrupted, corruptRng)
+		o := farm.RoundFirstK(uint64(step), env.corruptions(step), corruptRng)
 		row.ReplicaRounds += int64(o.N)
 		if o.Failed() {
 			row.Failures++

@@ -39,6 +39,42 @@ type StormConfig struct {
 	Background float64
 }
 
+// Validate checks the configuration. Without it a legal-looking config
+// could panic deep in the campaign: the storm-peak draw is
+// Intn(MaxLevel-PeakMin+1), which panics whenever MaxLevel < PeakMin or
+// MaxLevel is 0 with storms enabled, and a zero dwell would divide by
+// zero when computing the storm level. Probabilities must lie in [0,1].
+func (c StormConfig) Validate() error {
+	if c.Background < 0 || c.Background > 1 {
+		return fmt.Errorf("experiments: Background %v outside [0,1]", c.Background)
+	}
+	if c.StormEvery <= 0 {
+		return nil // storms disabled; the remaining knobs are unused
+	}
+	if c.FirstOnset < 0 {
+		return fmt.Errorf("experiments: FirstOnset %d must be non-negative", c.FirstOnset)
+	}
+	if c.DwellMin < 1 {
+		return fmt.Errorf("experiments: DwellMin %d must be at least 1", c.DwellMin)
+	}
+	if c.DwellMax < c.DwellMin {
+		return fmt.Errorf("experiments: DwellMax %d below DwellMin %d", c.DwellMax, c.DwellMin)
+	}
+	if c.MaxLevel < 1 {
+		return fmt.Errorf("experiments: MaxLevel %d must be at least 1 when storms are enabled", c.MaxLevel)
+	}
+	if c.PeakMin < 0 {
+		return fmt.Errorf("experiments: PeakMin %d must be non-negative", c.PeakMin)
+	}
+	if c.PeakMin > c.MaxLevel {
+		return fmt.Errorf("experiments: PeakMin %d above MaxLevel %d", c.PeakMin, c.MaxLevel)
+	}
+	if c.StormP < 0 || c.StormP > 1 {
+		return fmt.Errorf("experiments: StormP %v outside [0,1]", c.StormP)
+	}
+	return nil
+}
+
 // DefaultFig7Storms mirrors the 65-million-step experiment's regime:
 // rare, heavy, ramping storms over a near-silent background, tuned so
 // that the system spends the overwhelming share of its life at the
@@ -174,16 +210,51 @@ type AdaptiveRunResult struct {
 }
 
 // RunAdaptive executes the §3.3 autonomic loop for the configured number
-// of rounds.
+// of rounds on the fused campaign engine (see engine.go): storm
+// generation, first-K corruption, voting, and resize delivery run over
+// preallocated buffers, so rounds off the sampling grid perform zero
+// heap allocations.
 func RunAdaptive(cfg AdaptiveRunConfig) (AdaptiveRunResult, error) {
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		return AdaptiveRunResult{}, err
+	}
+	var red, dtof *metrics.Series
+	if cfg.SampleEvery > 0 {
+		red = metrics.NewSeries("redundancy")
+		dtof = metrics.NewSeries("dtof")
+	}
+	for step := int64(0); step < cfg.Steps; step++ {
+		o := c.Step()
+		if cfg.SampleEvery > 0 && step%cfg.SampleEvery == 0 {
+			red.Append(step, float64(o.N))
+			dtof.Append(step, float64(o.DTOF))
+		}
+	}
+	res := c.Result()
+	res.Redundancy, res.DTOF = red, dtof
+	return res, nil
+}
+
+// RunAdaptiveReference is the pre-engine §3.3 loop — per-round ballot
+// slices, a per-round corruption closure, and a map-backed histogram. It
+// is retained verbatim as the differential-testing oracle for the fused
+// engine: for any valid config its result renders byte-identically to
+// RunAdaptive's (asserted by the engine determinism tests), and the
+// benchmark snapshot (BENCH_fig7.json) records its speed as the
+// baseline the engine is measured against.
+func RunAdaptiveReference(cfg AdaptiveRunConfig) (AdaptiveRunResult, error) {
 	if cfg.Steps <= 0 {
 		return AdaptiveRunResult{}, fmt.Errorf("experiments: Steps must be positive")
+	}
+	if err := cfg.Storms.Validate(); err != nil {
+		return AdaptiveRunResult{}, err
 	}
 	farm, err := voting.NewFarm(cfg.Policy.Min, func(v uint64) uint64 { return v })
 	if err != nil {
 		return AdaptiveRunResult{}, err
 	}
-	sb, err := redundancy.NewSwitchboard(farm, cfg.Policy, []byte("fig7-key"))
+	sb, err := redundancy.NewSwitchboard(farm, cfg.Policy, campaignKey)
 	if err != nil {
 		return AdaptiveRunResult{}, err
 	}

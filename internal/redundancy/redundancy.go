@@ -123,6 +123,19 @@ func (c *Controller) QuietRuns() int { return c.quiet }
 // Stats reports the cumulative number of raise and lower decisions.
 func (c *Controller) Stats() (raises, lowers int64) { return c.raises, c.lowers }
 
+// adopt records an applied dimensioning. For self-issued revisions this
+// is a no-op (Observe already moved the target and reset the quiet
+// streak); for externally applied resize messages it keeps the
+// controller's state in sync with the farm, so its next decision starts
+// from the dimensioning actually in force.
+func (c *Controller) adopt(n int) {
+	if n == c.n {
+		return
+	}
+	c.n = n
+	c.quiet = 0
+}
+
 // Observe feeds one voting outcome. It returns the direction of a
 // resize request when one is issued, or 0 when the dimensioning stands.
 func (c *Controller) Observe(o voting.Outcome) (Direction, bool) {
@@ -178,6 +191,13 @@ type ResizeRequest struct {
 // ErrBadMAC reports a resize request failing authentication.
 var ErrBadMAC = errors.New("redundancy: resize request failed authentication")
 
+// ErrReplayedNonce reports a resize request whose nonce does not advance
+// past the last accepted one: a replayed or stale message. Without this
+// check any previously signed request re-verifies forever, so an
+// attacker who captured one legitimate "lower" message could replay it
+// to pin the organ at minimal redundancy.
+var ErrReplayedNonce = errors.New("redundancy: replayed or stale resize nonce")
+
 func macPayload(newN int, dir Direction, nonce uint64) []byte {
 	var buf [24]byte
 	binary.BigEndian.PutUint64(buf[0:8], uint64(int64(newN)))
@@ -212,9 +232,13 @@ type Switchboard struct {
 	ctrl *Controller
 	key  []byte
 
-	nonce    uint64
-	resizes  int64
-	rejected int64
+	// lastNonce is the highest nonce accepted on receipt; requests whose
+	// nonce does not strictly advance past it are rejected as replays.
+	// Self-issued revisions sign with lastNonce+1, so one nonce space
+	// covers both self-delivered and externally applied messages.
+	lastNonce uint64
+	resizes   int64
+	rejected  int64
 }
 
 // NewSwitchboard wires a farm to a fresh controller with the given
@@ -245,6 +269,58 @@ func (s *Switchboard) Farm() *voting.Farm { return s.farm }
 // Resizes reports how many resize messages were applied.
 func (s *Switchboard) Resizes() int64 { return s.resizes }
 
+// Rejected reports how many resize messages were rejected (failed
+// authentication, replayed/stale nonce, or invalid replica count).
+func (s *Switchboard) Rejected() int64 { return s.rejected }
+
+// LastNonce reports the highest nonce accepted so far.
+func (s *Switchboard) LastNonce() uint64 { return s.lastNonce }
+
+// Apply delivers one resize request to the switchboard: it verifies the
+// MAC, rejects non-increasing nonces with ErrReplayedNonce, rejects
+// dimensionings outside the policy band, resizes the farm, and keeps the
+// controller's notion of the dimensioning in sync. Every rejection,
+// whatever the cause, is counted.
+func (s *Switchboard) Apply(req ResizeRequest) error {
+	if err := VerifyResize(s.key, req); err != nil {
+		s.rejected++
+		return err
+	}
+	if req.Nonce <= s.lastNonce {
+		s.rejected++
+		return fmt.Errorf("%w: nonce %d, last accepted %d",
+			ErrReplayedNonce, req.Nonce, s.lastNonce)
+	}
+	if req.Nonce == ^uint64(0) {
+		// The maximum nonce is reserved: accepting it would leave no
+		// successor for self-issued revisions (lastNonce+1 would wrap to
+		// 0) and wedge the switchboard permanently.
+		s.rejected++
+		return fmt.Errorf("%w: nonce %d is reserved", ErrReplayedNonce, req.Nonce)
+	}
+	if p := s.ctrl.policy; req.NewN < p.Min || req.NewN > p.Max {
+		s.rejected++
+		return fmt.Errorf("redundancy: resize to %d outside policy band [%d,%d]",
+			req.NewN, p.Min, p.Max)
+	}
+	if err := s.farm.SetReplicas(req.NewN); err != nil {
+		s.rejected++
+		return err
+	}
+	s.ctrl.adopt(req.NewN)
+	s.lastNonce = req.Nonce
+	s.resizes++
+	return nil
+}
+
+// deliver signs and applies the controller's current target — the
+// revision travels as a signed message, verified on receipt with replay
+// protection: the paper's "secure messages".
+func (s *Switchboard) deliver(dir Direction) bool {
+	req := SignResize(s.key, s.ctrl.N(), dir, s.lastNonce+1)
+	return s.Apply(req) == nil
+}
+
 // Step runs one voting round and applies any dimensioning revision the
 // controller deduces from it. It returns the round outcome and whether a
 // resize occurred.
@@ -254,18 +330,19 @@ func (s *Switchboard) Step(input uint64, corrupted func(i int) bool, rng *xrand.
 	if !changed {
 		return o, false
 	}
-	// The revision travels as a signed message, verified on receipt —
-	// the paper's "secure messages".
-	s.nonce++
-	req := SignResize(s.key, s.ctrl.N(), dir, s.nonce)
-	if err := VerifyResize(s.key, req); err != nil {
-		s.rejected++
+	return o, s.deliver(dir)
+}
+
+// StepFirstK is the allocation-free variant of Step for the §3.3 storm
+// model, where a disturbance corrupts the first k replicas: it avoids
+// both the per-round corruption closure and the per-round ballot slice
+// (see voting.Farm.RoundFirstK). On consensus rounds — the overwhelming
+// majority of a Fig. 7 campaign — it performs zero heap allocations.
+func (s *Switchboard) StepFirstK(input uint64, k int, rng *xrand.Rand) (voting.Outcome, bool) {
+	o := s.farm.RoundFirstK(input, k, rng)
+	dir, changed := s.ctrl.Observe(o)
+	if !changed {
 		return o, false
 	}
-	if err := s.farm.SetReplicas(req.NewN); err != nil {
-		s.rejected++
-		return o, false
-	}
-	s.resizes++
-	return o, true
+	return o, s.deliver(dir)
 }

@@ -1,0 +1,168 @@
+package voting
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aft/internal/xrand"
+)
+
+// TestRoundFirstKMatchesRound asserts the fast path is observationally
+// identical to the closure path: same ballots, same outcome, same rng
+// consumption, for any (seed, n, k).
+func TestRoundFirstKMatchesRound(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%7*2 + 3 // odd, 3..15
+		k := int(kRaw) % (n + 2)
+
+		slow, err := NewFarm(n, ident)
+		if err != nil {
+			return false
+		}
+		fast, err := NewFarm(n, ident)
+		if err != nil {
+			return false
+		}
+		slowRng := xrand.New(seed)
+		fastRng := xrand.New(seed)
+		for round := 0; round < 4; round++ {
+			input := seed + uint64(round)
+			kk := k
+			a := slow.Round(input, func(i int) bool { return i < kk }, slowRng)
+			b := fast.RoundFirstK(input, k, fastRng)
+			if a.N != b.N || a.HasMajority != b.HasMajority ||
+				a.Value != b.Value || a.Dissent != b.Dissent ||
+				a.DTOF != b.DTOF || a.Correct != b.Correct {
+				return false
+			}
+			for i := range a.Votes {
+				if a.Votes[i] != b.Votes[i] {
+					return false
+				}
+			}
+			// Both generators must be in the same state afterwards.
+			if slowRng.Uint64() != fastRng.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundFirstKZeroAlloc is the allocation regression test of the
+// consensus path: a clean round and a storm round must both perform
+// zero heap allocations.
+func TestRoundFirstKZeroAlloc(t *testing.T) {
+	farm, err := NewFarm(7, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1)
+
+	input := uint64(0)
+	if allocs := testing.AllocsPerRun(10000, func() {
+		input++
+		farm.RoundFirstK(input, 0, nil)
+	}); allocs != 0 {
+		t.Fatalf("consensus round allocates %.1f objects, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10000, func() {
+		input++
+		farm.RoundFirstK(input, 2, rng)
+	}); allocs != 0 {
+		t.Fatalf("storm round (k=2) allocates %.1f objects, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10000, func() {
+		input++
+		farm.RoundFirstK(input, 7, rng)
+	}); allocs != 0 {
+		t.Fatalf("fully corrupted round allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestTallySmallMatchesMap cross-checks the stack tally against the map
+// tally on random ballot multisets drawn from a tiny alphabet (to force
+// collisions, ties, and wrong majorities).
+func TestTallySmallMatchesMap(t *testing.T) {
+	rng := xrand.New(42)
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(smallOrgan) + 1
+		votes := make([]uint64, n)
+		for i := range votes {
+			votes[i] = uint64(rng.Intn(4)) // alphabet {0..3}
+		}
+		golden := uint64(rng.Intn(4))
+		a := tallySmall(votes, golden)
+		b := tallyMap(votes, golden)
+		if a.HasMajority != b.HasMajority || a.Dissent != b.Dissent ||
+			a.DTOF != b.DTOF || a.Correct != b.Correct {
+			t.Fatalf("tally mismatch on %v golden=%d: small=%+v map=%+v",
+				votes, golden, a, b)
+		}
+		if a.HasMajority && a.Value != b.Value {
+			t.Fatalf("majority value mismatch on %v golden=%d: %d vs %d",
+				votes, golden, a.Value, b.Value)
+		}
+	}
+}
+
+// TestRoundFirstKVotesAliasBuffer documents the aliasing contract: the
+// fast path reuses one buffer across rounds.
+func TestRoundFirstKVotesAliasBuffer(t *testing.T) {
+	farm, err := NewFarm(3, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := farm.RoundFirstK(1, 0, nil)
+	b := farm.RoundFirstK(2, 0, nil)
+	if &a.Votes[0] != &b.Votes[0] {
+		t.Fatal("fast-path rounds must share the reusable buffer")
+	}
+	if a.Votes[0] != 2 {
+		t.Fatal("earlier outcome must observe the buffer reuse")
+	}
+}
+
+// TestRoundFirstKAfterResize covers buffer growth across SetReplicas.
+func TestRoundFirstKAfterResize(t *testing.T) {
+	farm, err := NewFarm(3, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := farm.RoundFirstK(9, 0, nil); o.N != 3 || !o.Correct {
+		t.Fatalf("pre-resize outcome = %+v", o)
+	}
+	if err := farm.SetReplicas(9); err != nil {
+		t.Fatal(err)
+	}
+	o := farm.RoundFirstK(9, 1, xrand.New(7))
+	if o.N != 9 || len(o.Votes) != 9 || !o.Correct || o.Dissent != 1 {
+		t.Fatalf("post-resize outcome = %+v", o)
+	}
+}
+
+func BenchmarkRoundFirstKClean(b *testing.B) {
+	f, err := NewFarm(7, ident)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.RoundFirstK(uint64(i), 0, nil)
+	}
+}
+
+func BenchmarkRoundFirstKWithCorruption(b *testing.B) {
+	f, err := NewFarm(7, ident)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.RoundFirstK(uint64(i), 1, rng)
+	}
+}

@@ -68,6 +68,10 @@ func (o Outcome) Failed() bool { return !o.HasMajority || !o.Correct }
 type Farm struct {
 	method Method
 	n      int
+	// buf is the reusable ballot buffer of the allocation-free fast path
+	// (RoundFirstK). It is sized by SetReplicas and never shrinks, so the
+	// 65-million-round campaigns of Fig. 7 run without per-round garbage.
+	buf []uint64
 
 	rounds   int64
 	failures int64
@@ -99,6 +103,9 @@ func (f *Farm) SetReplicas(n int) error {
 		return fmt.Errorf("voting: replica count %d must be odd", n)
 	}
 	f.n = n
+	if cap(f.buf) < n {
+		f.buf = make([]uint64, n)
+	}
 	return nil
 }
 
@@ -123,6 +130,41 @@ func (f *Farm) Round(input uint64, corrupted func(i int) bool, rng *xrand.Rand) 
 	return o
 }
 
+// RoundFirstK executes one replicated computation where the environment
+// corrupts the first k replicas — the storm model of the §3.3
+// experiments, where a disturbance of intensity k hits k replicas at
+// once. It is the allocation-free fast path behind the campaign engine:
+// ballots are written into the farm's reusable buffer and tallied
+// without a map, so a consensus round performs zero heap allocations.
+//
+// The returned Outcome's Votes slice aliases the reusable buffer and is
+// only valid until the next round on this farm. rng supplies the
+// corrupted values; it may be nil when k == 0. The ballot values and the
+// rng consumption are identical to Round(input, func(i int) bool
+// { return i < k }, rng).
+func (f *Farm) RoundFirstK(input uint64, k int, rng *xrand.Rand) Outcome {
+	golden := f.method(input)
+	votes := f.buf[:f.n]
+	if k > f.n {
+		k = f.n
+	}
+	if k < 0 {
+		k = 0
+	}
+	for i := 0; i < k; i++ {
+		votes[i] = corruptValue(golden, rng)
+	}
+	for i := k; i < f.n; i++ {
+		votes[i] = golden
+	}
+	o := tally(votes, golden)
+	f.rounds++
+	if o.Failed() {
+		f.failures++
+	}
+	return o
+}
+
 // corruptValue produces a value guaranteed to differ from golden.
 func corruptValue(golden uint64, rng *xrand.Rand) uint64 {
 	if rng == nil {
@@ -134,6 +176,11 @@ func corruptValue(golden uint64, rng *xrand.Rand) uint64 {
 	}
 	return v
 }
+
+// smallOrgan is the largest organ tallied on the stack. The paper's
+// experiments use 3–9 replicas; anything within smallOrgan tallies with
+// zero heap allocations, larger organs fall back to a map.
+const smallOrgan = 16
 
 // tally computes the round outcome from raw ballots.
 func tally(votes []uint64, golden uint64) Outcome {
@@ -153,6 +200,46 @@ func tally(votes []uint64, golden uint64) Outcome {
 			Dissent: 0, DTOF: MaxDTOF(n), Correct: true,
 		}
 	}
+	if n <= smallOrgan {
+		return tallySmall(votes, golden)
+	}
+	return tallyMap(votes, golden)
+}
+
+// tallySmall counts distinct ballot values in fixed-size stack arrays —
+// no map, no heap. Every storm round lands here: the organ holds at most
+// 9 replicas in the paper's regime, so at most 9 distinct values appear
+// (and in the common dissent shapes only 2).
+func tallySmall(votes []uint64, golden uint64) Outcome {
+	var vals [smallOrgan]uint64
+	var counts [smallOrgan]int
+	distinct := 0
+	for _, v := range votes {
+		found := false
+		for j := 0; j < distinct; j++ {
+			if vals[j] == v {
+				counts[j]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			vals[distinct] = v
+			counts[distinct] = 1
+			distinct++
+		}
+	}
+	bestVal, bestCount := uint64(0), 0
+	for j := 0; j < distinct; j++ {
+		if counts[j] > bestCount || (counts[j] == bestCount && vals[j] == golden) {
+			bestVal, bestCount = vals[j], counts[j]
+		}
+	}
+	return finishTally(votes, golden, bestVal, bestCount)
+}
+
+// tallyMap is the fallback for organs larger than smallOrgan.
+func tallyMap(votes []uint64, golden uint64) Outcome {
 	counts := make(map[uint64]int, 2)
 	for _, v := range votes {
 		counts[v]++
@@ -163,6 +250,12 @@ func tally(votes []uint64, golden uint64) Outcome {
 			bestVal, bestCount = v, c
 		}
 	}
+	return finishTally(votes, golden, bestVal, bestCount)
+}
+
+// finishTally derives the Outcome from the winning candidate.
+func finishTally(votes []uint64, golden, bestVal uint64, bestCount int) Outcome {
+	n := len(votes)
 	o := Outcome{N: n, Votes: votes}
 	if bestCount > n/2 {
 		o.HasMajority = true

@@ -32,8 +32,12 @@ type Watchdog struct {
 	lastBeat simclock.Time
 	started  bool
 	stopped  bool
-	fires    int64
-	beats    int64
+	// gen identifies the live check chain. Each Start increments it;
+	// a chain whose generation no longer matches unschedules itself, so
+	// a stop→start cycle can never leave two chains ticking.
+	gen   uint64
+	fires int64
+	beats int64
 }
 
 // New builds a watchdog. onFire runs on every firing; it may be nil.
@@ -50,14 +54,21 @@ func New(cfg Config, onFire func(now simclock.Time)) (*Watchdog, error) {
 // Start schedules the periodic checks. The last-heartbeat time starts at
 // the current virtual time, so a healthy task has a full deadline before
 // the first possible firing.
+//
+// Starting a running watchdog is a no-op; starting a stopped one
+// restarts it with a fresh deadline window, retiring any check events of
+// the previous chain that are still in the scheduler's queue.
 func (w *Watchdog) Start(s *simclock.Scheduler) {
-	if w.started {
+	if w.started && !w.stopped {
 		return
 	}
 	w.started = true
+	w.stopped = false
+	w.gen++
+	gen := w.gen
 	w.lastBeat = s.Now()
 	s.Every(w.cfg.Interval, func(sc *simclock.Scheduler) bool {
-		if w.stopped {
+		if w.stopped || w.gen != gen {
 			return false
 		}
 		w.check(sc.Now())
@@ -86,6 +97,7 @@ func (w *Watchdog) Beat(now simclock.Time) {
 }
 
 // Stop cancels future checks (takes effect at the next scheduled check).
+// A stopped watchdog can be restarted with Start.
 func (w *Watchdog) Stop() { w.stopped = true }
 
 // Fires reports how many times the watchdog has fired.

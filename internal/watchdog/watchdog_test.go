@@ -112,6 +112,58 @@ func TestDoubleStartIsIdempotent(t *testing.T) {
 	}
 }
 
+// TestRestartAfterStop covers stop→start→fire: the seed silently ignored
+// the second Start (started stayed true, stopped stayed set), so a
+// stopped watchdog could never watch again.
+func TestRestartAfterStop(t *testing.T) {
+	s := simclock.New()
+	w, err := New(Config{Interval: 10, Deadline: 15}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(s)
+	s.At(35, func(*simclock.Scheduler) { w.Stop() })
+	s.Run(100)
+	// Checks at 10 (silence 10 <= 15), 20, 30 fire; the t=40 check sees
+	// the stop and unschedules.
+	if w.Fires() != 2 {
+		t.Fatalf("fires before restart = %d, want 2", w.Fires())
+	}
+
+	// Restart: the deadline window must reset to the restart instant, so
+	// the old silence is forgiven and checks resume.
+	w.Start(s)
+	now := s.Now()
+	s.Run(now + 65)
+	// Relative to the restart at now: checks at +10 (ok), +20..+60 fire.
+	if got := w.Fires() - 2; got != 5 {
+		t.Fatalf("fires after restart = %d, want 5", got)
+	}
+}
+
+// TestRestartDoesNotDuplicateChecks guards the restart against a
+// leftover chain: a stop immediately followed by a start must retire the
+// old chain's queued events instead of running two chains.
+func TestRestartDoesNotDuplicateChecks(t *testing.T) {
+	s := simclock.New()
+	w, err := New(Config{Interval: 10, Deadline: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(s) // chain A: checks at 10, 20, 30, ...
+	s.At(15, func(sc *simclock.Scheduler) {
+		w.Stop()
+		w.Start(sc) // chain B: checks at 25, 35, 45, ...
+	})
+	s.Run(50)
+	// Chain A fires at 10 (silence 10 > 5); its t=20 event must die on
+	// the generation check. Chain B fires at 25, 35, 45 (silence measured
+	// from the restart at 15). Total: 4.
+	if w.Fires() != 4 {
+		t.Fatalf("fires = %d, want 4 (old chain must not keep ticking)", w.Fires())
+	}
+}
+
 func TestStopHaltsChecks(t *testing.T) {
 	s := simclock.New()
 	w, err := New(Config{Interval: 10, Deadline: 5}, nil)
