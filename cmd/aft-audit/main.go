@@ -18,30 +18,35 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
+	"aft/internal/cli"
 	"aft/internal/manifest"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	path := flag.String("manifest", "", "path to a JSON manifest (default: built-in sample)")
-	envPath := flag.String("env", "", "path to a JSON environment-fact file for re-qualification")
-	printSample := flag.Bool("print-sample", false, "print the built-in sample manifest and exit")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("aft-audit", flag.ContinueOnError)
+	path := fs.String("manifest", "", "path to a JSON manifest (default: built-in sample)")
+	envPath := fs.String("env", "", "path to a JSON environment-fact file for re-qualification")
+	printSample := fs.Bool("print-sample", false, "print the built-in sample manifest and exit")
+	if done, err := cli.Parse(fs, args, stdout); done {
+		return err
+	}
 
 	if *printSample {
 		data, err := manifest.Example().Encode()
 		if err != nil {
 			return err
 		}
-		fmt.Println(string(data))
+		fmt.Fprintln(stdout, string(data))
 		return nil
 	}
 
@@ -61,17 +66,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("system:            %s\n", rep.System)
-	fmt.Printf("boulding category: %v (required: %v)\n", rep.Category, rep.RequiredCategory)
+	fmt.Fprintf(stdout, "system:            %s\n", rep.System)
+	fmt.Fprintf(stdout, "boulding category: %v (required: %v)\n", rep.Category, rep.RequiredCategory)
 	if rep.BouldingClash {
-		fmt.Println("  !! Boulding clash: the system is underqualified for its environment")
+		fmt.Fprintln(stdout, "  !! Boulding clash: the system is underqualified for its environment")
 	}
 	if len(rep.Findings) == 0 {
-		fmt.Println("no findings: every assumption is bound and verifiable")
+		fmt.Fprintln(stdout, "no findings: every assumption is bound and verifiable")
 	} else {
-		fmt.Printf("%d finding(s):\n", len(rep.Findings))
+		fmt.Fprintf(stdout, "%d finding(s):\n", len(rep.Findings))
 		for _, f := range rep.Findings {
-			fmt.Printf("  %-36s %s\n", f.Variable, f.Problem)
+			fmt.Fprintf(stdout, "  %-36s %s\n", f.Variable, f.Problem)
 		}
 	}
 
@@ -88,16 +93,16 @@ func run() error {
 	}
 	stale := m.Requalify(env)
 	if len(stale) == 0 {
-		fmt.Println("re-qualification: every recorded binding holds in the destination environment")
+		fmt.Fprintln(stdout, "re-qualification: every recorded binding holds in the destination environment")
 		return nil
 	}
-	fmt.Printf("re-qualification: %d stale binding(s):\n", len(stale))
+	fmt.Fprintf(stdout, "re-qualification: %d stale binding(s):\n", len(stale))
 	for _, s := range stale {
 		note := "rebind to the observed alternative"
 		if !s.Declared {
 			note = "observed fact is OUTSIDE the declared alternatives — redesign required"
 		}
-		fmt.Printf("  %-36s bound %q, observed %q — %s\n", s.Variable, s.Bound, s.Observed, note)
+		fmt.Fprintf(stdout, "  %-36s bound %q, observed %q — %s\n", s.Variable, s.Bound, s.Observed, note)
 	}
 	return nil
 }

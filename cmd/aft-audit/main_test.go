@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBuiltinSample(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, needle := range []string{"system:", "boulding category:"} {
+		if !strings.Contains(got, needle) {
+			t.Errorf("output lacks %q", needle)
+		}
+	}
+}
+
+func TestRunPrintSampleIsLoadable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-print-sample"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(path, []byte(out.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out2 strings.Builder
+	if err := run([]string{"-manifest", path}, &out2); err != nil {
+		t.Fatalf("printed sample does not audit: %v", err)
+	}
+}
+
+func TestRunRequalify(t *testing.T) {
+	env := filepath.Join(t.TempDir(), "env.json")
+	if err := os.WriteFile(env, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-env", env}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "re-qualification:") {
+		t.Fatalf("re-qualification report missing:\n%s", out.String())
+	}
+}
+
+func TestRunMissingManifest(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-manifest", "/does/not/exist.json"}, &out); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+}

@@ -23,27 +23,32 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
 	"time"
 
+	"aft/internal/cli"
 	"aft/internal/experiments"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	fig := flag.String("fig", "all", "which artefact to regenerate: 4, 5, 6, 7, e5..e10, bench7, all")
-	steps := flag.Int64("steps", 2_000_000, "rounds for the Fig. 7 run (paper: 65000000)")
-	seed := flag.Uint64("seed", 1906, "random seed")
-	parallel := flag.Int("parallel", 1, "worker pool for the E8/E9/E10 sweeps: 1 = serial, 0 = one per CPU, N = N workers")
-	benchOut := flag.String("bench-out", "BENCH_fig7.json", "where -fig bench7 writes its JSON snapshot")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("aft-bench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "which artefact to regenerate: 4, 5, 6, 7, e5..e10, bench7, all")
+	steps := fs.Int64("steps", 2_000_000, "rounds for the Fig. 7 run (paper: 65000000)")
+	seed := fs.Uint64("seed", 1906, "random seed")
+	parallel := fs.Int("parallel", 1, "worker pool for the E8/E9/E10 sweeps: 1 = serial, 0 = one per CPU, N = N workers")
+	benchOut := fs.String("bench-out", "BENCH_fig7.json", "where -fig bench7 writes its JSON snapshot")
+	if done, err := cli.Parse(fs, args, stdout); done {
+		return err
+	}
 
 	runners := map[string]func() error{
 		"4": func() error {
@@ -51,7 +56,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(res.Render())
+			fmt.Fprint(stdout, res.Render())
 			return nil
 		},
 		"5": func() error {
@@ -59,7 +64,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.RenderFig5(rows))
+			fmt.Fprint(stdout, experiments.RenderFig5(rows))
 			return nil
 		},
 		"6": func() error {
@@ -69,18 +74,18 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.RenderFig6(res))
+			fmt.Fprint(stdout, experiments.RenderFig6(res))
 			return nil
 		},
 		"7": func() error {
 			cfg := experiments.DefaultFig7Config(*steps)
 			cfg.Seed = *seed
-			fmt.Printf("(running %d rounds)\n", cfg.Steps)
+			fmt.Fprintf(stdout, "(running %d rounds)\n", cfg.Steps)
 			res, err := experiments.RunAdaptive(cfg)
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.RenderFig7(res, cfg.Policy.Min))
+			fmt.Fprint(stdout, experiments.RenderFig7(res, cfg.Policy.Min))
 			return nil
 		},
 		"e5": func() error {
@@ -88,7 +93,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.RenderPatternRows(
+			fmt.Fprint(stdout, experiments.RenderPatternRows(
 				"E5 — permanent fault: redoing livelocks, adaptation escapes", rows))
 			return nil
 		},
@@ -97,7 +102,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.RenderPatternRows(
+			fmt.Fprint(stdout, experiments.RenderPatternRows(
 				"E6 — transient faults: reconfiguration wastes spares, adaptation does not", rows))
 			return nil
 		},
@@ -106,7 +111,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.RenderE7(cells))
+			fmt.Fprint(stdout, experiments.RenderE7(cells))
 			return nil
 		},
 		"e8": func() error {
@@ -114,7 +119,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.RenderE8(rows))
+			fmt.Fprint(stdout, experiments.RenderE8(rows))
 			return nil
 		},
 		"e9": func() error {
@@ -122,7 +127,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.RenderE9(rows))
+			fmt.Fprint(stdout, experiments.RenderE9(rows))
 			return nil
 		},
 		"e10": func() error {
@@ -130,18 +135,18 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.RenderE10(rows))
+			fmt.Fprint(stdout, experiments.RenderE10(rows))
 			return nil
 		},
 		"bench7": func() error {
-			return runBench7(*steps, *seed, *benchOut)
+			return runBench7(*steps, *seed, *benchOut, stdout)
 		},
 	}
 
 	order := []string{"4", "5", "6", "7", "e5", "e6", "e7", "e8", "e9", "e10"}
 	usesPool := map[string]bool{"e8": true, "e9": true, "e10": true}
 	if *parallel != 1 && (*fig == "all" || usesPool[*fig]) {
-		fmt.Printf("(E8/E9/E10 sweeps on a %d-worker pool)\n", experiments.Workers(*parallel))
+		fmt.Fprintf(stdout, "(E8/E9/E10 sweeps on a %d-worker pool)\n", experiments.Workers(*parallel))
 	}
 	if *fig != "all" {
 		r, ok := runners[*fig]
@@ -151,7 +156,7 @@ func run() error {
 		return r()
 	}
 	for _, k := range order {
-		fmt.Printf("\n================ %s ================\n", k)
+		fmt.Fprintf(stdout, "\n================ %s ================\n", k)
 		if err := runners[k](); err != nil {
 			return err
 		}
@@ -211,7 +216,7 @@ func measureCampaign(steps int64, fn func() error) (benchRow, error) {
 
 // runBench7 benchmarks the Fig. 7 campaign on both engines and writes
 // the snapshot.
-func runBench7(steps int64, seed uint64, out string) error {
+func runBench7(steps int64, seed uint64, out string, stdout io.Writer) error {
 	cfg := experiments.DefaultFig7Config(steps)
 	cfg.Seed = seed
 	snap := benchSnapshot{
@@ -221,7 +226,7 @@ func runBench7(steps int64, seed uint64, out string) error {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 
-	fmt.Printf("bench7: %d rounds per engine (seed %d)\n", cfg.Steps, cfg.Seed)
+	fmt.Fprintf(stdout, "bench7: %d rounds per engine (seed %d)\n", cfg.Steps, cfg.Seed)
 	// Both timed regions include campaign construction and result
 	// folding, so the rows are like-for-like even at small -steps.
 	var engRes, refRes experiments.AdaptiveRunResult
@@ -265,10 +270,10 @@ func runBench7(steps int64, seed uint64, out string) error {
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("engine:    %8.1f ns/round  %6.4f allocs/round  %12.0f rounds/sec\n",
+	fmt.Fprintf(stdout, "engine:    %8.1f ns/round  %6.4f allocs/round  %12.0f rounds/sec\n",
 		snap.Engine.NsPerRound, snap.Engine.AllocsPerRound, snap.Engine.RoundsPerSec)
-	fmt.Printf("reference: %8.1f ns/round  %6.4f allocs/round  %12.0f rounds/sec\n",
+	fmt.Fprintf(stdout, "reference: %8.1f ns/round  %6.4f allocs/round  %12.0f rounds/sec\n",
 		snap.Reference.NsPerRound, snap.Reference.AllocsPerRound, snap.Reference.RoundsPerSec)
-	fmt.Printf("speedup:   %.2fx  (snapshot written to %s)\n", snap.Speedup, out)
+	fmt.Fprintf(stdout, "speedup:   %.2fx  (snapshot written to %s)\n", snap.Speedup, out)
 	return nil
 }

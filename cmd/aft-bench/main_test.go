@@ -1,0 +1,48 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFig4(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 4") {
+		t.Fatalf("Fig. 4 output missing:\n%s", out.String())
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 5") {
+		t.Fatalf("Fig. 5 output missing:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownFig(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "99"}, &out); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunBench7WritesSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench7 times two engine runs")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf strings.Builder
+	if err := run([]string{"-fig", "bench7", "-steps", "50000", "-bench-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup:") {
+		t.Fatalf("bench7 output lacks speedup line:\n%s", buf.String())
+	}
+}

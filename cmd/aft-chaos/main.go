@@ -1,0 +1,115 @@
+// Command aft-chaos runs the deterministic cross-strategy chaos
+// scenarios of internal/scenario outside `go test`: it executes a
+// builtin scenario (or a JSON spec file) from a seed, prints the
+// canonical event transcript, evaluates the run-time invariants, and
+// can replay the organ track differentially through both the fused
+// campaign engine and the pre-engine reference loop.
+//
+// Exit status: non-zero when -invariants finds a violation (the message
+// names the invariant and the simulated time), when -diff detects an
+// engine divergence, or on any usage error.
+//
+// Usage:
+//
+//	aft-chaos -list
+//	aft-chaos [-scenario name|file.json] [-seed N] [-invariants] [-diff]
+//	          [-quiet] [-print-spec] [-sabotage invariant]
+//
+// -sabotage is a test-only hook that deliberately breaks the named
+// invariant mid-run, proving the checkers (and this command's exit
+// code) actually fire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"aft/internal/cli"
+	"aft/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("aft-chaos", flag.ContinueOnError)
+	name := fs.String("scenario", "storm-replay", "builtin scenario name or path to a JSON spec file")
+	seed := fs.Uint64("seed", 0, "seed override (0 = the spec's default)")
+	invariants := fs.Bool("invariants", false, "evaluate invariants and exit non-zero on any violation")
+	diff := fs.Bool("diff", false, "differentially replay the organ track on the fused engine and the reference loop")
+	quiet := fs.Bool("quiet", false, "suppress the event transcript, print only the summary lines")
+	printSpec := fs.Bool("print-spec", false, "print the scenario spec as JSON (the -scenario file format) and exit")
+	sabotage := fs.String("sabotage", "", "test-only: deliberately violate the named invariant mid-run")
+	list := fs.Bool("list", false, "list builtin scenarios and exit")
+	if done, err := cli.Parse(fs, args, stdout); done {
+		return err
+	}
+
+	if *list {
+		for _, n := range scenario.Names() {
+			s, _ := scenario.Builtin(n)
+			fmt.Fprintf(stdout, "%-18s %s\n", n, s.Description)
+		}
+		return nil
+	}
+
+	spec, ok := scenario.Builtin(*name)
+	if !ok {
+		var err error
+		if spec, err = scenario.Load(*name); err != nil {
+			return fmt.Errorf("scenario %q is neither builtin nor loadable: %w (use -list)", *name, err)
+		}
+	}
+
+	if *printSpec {
+		data, err := spec.Encode()
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(data)
+		return err
+	}
+
+	res, err := scenario.Run(spec, scenario.Options{Seed: *seed, Sabotage: *sabotage})
+	if err != nil {
+		return err
+	}
+	transcript := res.Transcript
+	if *quiet {
+		var b strings.Builder
+		for _, line := range strings.SplitAfter(transcript, "\n") {
+			if strings.Contains(line, "] summary ") || strings.Contains(line, "] violation ") {
+				b.WriteString(line)
+			}
+		}
+		transcript = b.String()
+	}
+	fmt.Fprint(stdout, transcript)
+
+	if *diff {
+		rep, err := scenario.Differential(spec, *seed)
+		if err != nil {
+			return err
+		}
+		if rep.Rounds == 0 {
+			fmt.Fprintln(stdout, "differential: no organ track to compare")
+		} else {
+			fmt.Fprintf(stdout, "differential: fused engine and reference loop agree over %d rounds\n", rep.Rounds)
+		}
+	}
+
+	if *invariants {
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("%d invariant violation(s); first: %s", len(res.Violations), res.Violations[0])
+		}
+		fmt.Fprintf(stdout, "invariants: %d checks, all held\n", res.InvariantsChecked)
+	}
+	return nil
+}

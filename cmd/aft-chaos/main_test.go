@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aft/internal/scenario"
+)
+
+func TestRunBuiltinWithInvariants(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "storm-replay", "-seed", "1", "-invariants"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, needle := range []string{"summary organ", "attack replay: rejected", "all held"} {
+		if !strings.Contains(got, needle) {
+			t.Errorf("output lacks %q", needle)
+		}
+	}
+}
+
+func TestRunSabotageFails(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-scenario", "storm-replay", "-invariants", "-quiet", "-sabotage", scenario.InvRedundancyBand}, &out)
+	if err == nil {
+		t.Fatal("sabotaged run exited clean")
+	}
+	if !strings.Contains(err.Error(), scenario.InvRedundancyBand) || !strings.Contains(err.Error(), "t=") {
+		t.Fatalf("error does not name the invariant and time: %v", err)
+	}
+}
+
+func TestRunDiff(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "quiet", "-diff", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "reference loop agree") {
+		t.Fatalf("diff verdict missing:\n%s", out.String())
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	spec, ok := scenario.Builtin("quiet")
+	if !ok {
+		t.Fatal("quiet builtin missing")
+	}
+	data, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "quiet.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-scenario", path, "-invariants"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "name=quiet") {
+		t.Fatal("file-loaded scenario did not run")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("list output lacks %q", name)
+		}
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "does-not-exist"}, &out); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestRunPrintSpecRoundTrips(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "teardown", "-print-spec"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "td.json")
+	if err := os.WriteFile(path, []byte(out.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.Load(path); err != nil {
+		t.Fatalf("-print-spec output does not Load: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"log"
 	"os"
@@ -20,18 +21,22 @@ import (
 	"sort"
 	"strings"
 
+	"aft/internal/cli"
 	"aft/internal/introspect"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	flag.Parse()
-	paths := flag.Args()
+func run(args []string, stdout io.Writer) error {
+	fset := flag.NewFlagSet("aft-introspect", flag.ContinueOnError)
+	if done, err := cli.Parse(fset, args, stdout); done {
+		return err
+	}
+	paths := fset.Args()
 	if len(paths) == 0 {
 		paths = []string{"."}
 	}
@@ -74,7 +79,7 @@ func run() error {
 		return err
 	}
 	for _, f := range findings {
-		fmt.Println(f)
+		fmt.Fprintln(stdout, f)
 	}
 	sum := introspect.Summary(findings)
 	cats := make([]introspect.Category, 0, len(sum))
@@ -82,9 +87,9 @@ func run() error {
 		cats = append(cats, c)
 	}
 	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
-	fmt.Printf("\n%d finding(s) in %d file(s)\n", len(findings), len(files))
+	fmt.Fprintf(stdout, "\n%d finding(s) in %d file(s)\n", len(findings), len(files))
 	for _, c := range cats {
-		fmt.Printf("  %-22s %d\n", c.String(), sum[c])
+		fmt.Fprintf(stdout, "  %-22s %d\n", c.String(), sum[c])
 	}
 	return nil
 }

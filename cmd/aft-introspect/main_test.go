@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFindsNarrowingConversion(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\nfunc f(v int64) int16 { return int16(v) }\n"
+	path := filepath.Join(dir, "ariane.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "finding(s) in 1 file(s)") {
+		t.Fatalf("summary missing:\n%s", got)
+	}
+	if !strings.Contains(got, "ariane.go") {
+		t.Fatalf("finding for ariane.go missing:\n%s", got)
+	}
+}
+
+func TestRunMissingPath(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"/does/not/exist"}, &out); err == nil {
+		t.Fatal("missing path accepted")
+	}
+}

@@ -12,10 +12,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"aft/internal/autoconf"
+	"aft/internal/cli"
 	"aft/internal/spd"
 )
 
@@ -39,15 +41,18 @@ const builtinLSHW = `  *-memory
 `
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	lshwPath := flag.String("lshw", "", "path to lshw output (default: built-in Fig. 2 sample)")
-	kbPath := flag.String("kb", "", "path to a JSON failure knowledge base (default: built-in)")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("aft-probe", flag.ContinueOnError)
+	lshwPath := fs.String("lshw", "", "path to lshw output (default: built-in Fig. 2 sample)")
+	kbPath := fs.String("kb", "", "path to a JSON failure knowledge base (default: built-in)")
+	if done, err := cli.Parse(fs, args, stdout); done {
+		return err
+	}
 
 	text := builtinLSHW
 	if *lshwPath != "" {
@@ -76,13 +81,13 @@ func run() error {
 	}
 	sel := autoconf.NewSelector(kb, nil)
 	for i, m := range mods {
-		fmt.Printf("=== bank %d\n", i)
+		fmt.Fprintf(stdout, "=== bank %d\n", i)
 		decision, err := sel.Select(m)
 		if err != nil {
 			return err
 		}
-		fmt.Print(decision)
-		fmt.Println()
+		fmt.Fprint(stdout, decision)
+		fmt.Fprintln(stdout)
 	}
 	return nil
 }

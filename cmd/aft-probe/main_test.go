@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBuiltinLSHW(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "=== bank 0") || !strings.Contains(got, "=== bank 1") {
+		t.Fatalf("expected two banks in output:\n%s", got)
+	}
+}
+
+func TestRunMissingLSHWFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-lshw", "/does/not/exist"}, &out); err == nil {
+		t.Fatal("missing lshw file accepted")
+	}
+}

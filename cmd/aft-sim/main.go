@@ -24,29 +24,35 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
+	"aft/internal/cli"
 	"aft/internal/experiments"
 	"aft/internal/redundancy"
 	"aft/internal/xrand"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	steps := flag.Int64("steps", 1_000_000, "number of voting rounds")
-	seed := flag.Uint64("seed", 1906, "random seed")
-	sample := flag.Int64("sample", 0, "series sampling period (0 = histogram only)")
-	stormEvery := flag.Int64("storm-every", 0, "storm onset period (0 = steps/13)")
-	maxLevel := flag.Int("max-level", 4, "maximum storm intensity level")
-	replicas := flag.Int("replicas", 1, "independent replicas of the campaign")
-	parallel := flag.Int("parallel", 0, "worker pool for replicas (0 = one per CPU)")
-	engine := flag.String("engine", "fused", "campaign engine for single runs: fused (zero-alloc) or reference (pre-engine loop)")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("aft-sim", flag.ContinueOnError)
+	steps := fs.Int64("steps", 1_000_000, "number of voting rounds")
+	seed := fs.Uint64("seed", 1906, "random seed")
+	sample := fs.Int64("sample", 0, "series sampling period (0 = histogram only)")
+	stormEvery := fs.Int64("storm-every", 0, "storm onset period (0 = steps/13)")
+	maxLevel := fs.Int("max-level", 4, "maximum storm intensity level")
+	replicas := fs.Int("replicas", 1, "independent replicas of the campaign")
+	parallel := fs.Int("parallel", 0, "worker pool for replicas (0 = one per CPU)")
+	engine := fs.String("engine", "fused", "campaign engine for single runs: fused (zero-alloc) or reference (pre-engine loop)")
+	if done, err := cli.Parse(fs, args, stdout); done {
+		return err
+	}
 
 	runCampaign := experiments.RunAdaptive
 	switch *engine {
@@ -72,30 +78,30 @@ func run() error {
 		if *engine != "fused" {
 			return fmt.Errorf("-engine %s applies to single runs only; the -replicas sweep always uses the fused engine", *engine)
 		}
-		return runReplicas(cfg, *replicas, *parallel)
+		return runReplicas(cfg, *replicas, *parallel, stdout)
 	}
 
-	fmt.Printf("running %d rounds (seed %d, storms every %d rounds, max level %d, %s engine)\n",
+	fmt.Fprintf(stdout, "running %d rounds (seed %d, storms every %d rounds, max level %d, %s engine)\n",
 		cfg.Steps, cfg.Seed, cfg.Storms.StormEvery, cfg.Storms.MaxLevel, *engine)
 	res, err := runCampaign(cfg)
 	if err != nil {
 		return err
 	}
 	if res.Redundancy != nil {
-		fmt.Print(experiments.RenderFig6(res))
+		fmt.Fprint(stdout, experiments.RenderFig6(res))
 	}
-	fmt.Print(experiments.RenderFig7(res, redundancy.DefaultPolicy().Min))
+	fmt.Fprint(stdout, experiments.RenderFig7(res, redundancy.DefaultPolicy().Min))
 	return nil
 }
 
 // runReplicas fans the campaign out over derived seeds and aggregates.
-func runReplicas(cfg experiments.AdaptiveRunConfig, replicas, parallel int) error {
+func runReplicas(cfg experiments.AdaptiveRunConfig, replicas, parallel int, stdout io.Writer) error {
 	if cfg.SampleEvery > 0 {
-		fmt.Println("(-sample applies to single runs only; disabled for the replica sweep)")
+		fmt.Fprintln(stdout, "(-sample applies to single runs only; disabled for the replica sweep)")
 		cfg.SampleEvery = 0
 	}
 	seeds := xrand.Seeds(cfg.Seed, replicas)
-	fmt.Printf("running %d replicas x %d rounds (root seed %d, %d workers)\n",
+	fmt.Fprintf(stdout, "running %d replicas x %d rounds (root seed %d, %d workers)\n",
 		replicas, cfg.Steps, cfg.Seed, experiments.Workers(parallel))
 	results, err := experiments.SweepSeeds(cfg, seeds, parallel)
 	if err != nil {
@@ -105,7 +111,7 @@ func runReplicas(cfg experiments.AdaptiveRunConfig, replicas, parallel int) erro
 	var failures, replicaRounds, rounds int64
 	var minFraction float64
 	for i, res := range results {
-		fmt.Printf("  replica %2d (seed %20d): failures=%-4d time@min=%9.5f%% avg-redundancy=%.4f\n",
+		fmt.Fprintf(stdout, "  replica %2d (seed %20d): failures=%-4d time@min=%9.5f%% avg-redundancy=%.4f\n",
 			i, seeds[i], res.Failures, 100*res.MinFraction,
 			float64(res.ReplicaRounds)/float64(res.Rounds))
 		failures += res.Failures
@@ -113,7 +119,7 @@ func runReplicas(cfg experiments.AdaptiveRunConfig, replicas, parallel int) erro
 		rounds += res.Rounds
 		minFraction += res.MinFraction
 	}
-	fmt.Printf("aggregate over %d replicas: failures=%d time@min(r=%d)=%.5f%% avg-redundancy=%.4f\n",
+	fmt.Fprintf(stdout, "aggregate over %d replicas: failures=%d time@min(r=%d)=%.5f%% avg-redundancy=%.4f\n",
 		replicas, failures, minR, 100*minFraction/float64(replicas),
 		float64(replicaRounds)/float64(rounds))
 	return nil

@@ -1,0 +1,34 @@
+// Package cli holds the flag-parsing convention shared by every cmd/*
+// binary: commands are thin main() wrappers over a testable
+// run(args []string, stdout io.Writer) error, and Parse gives them
+// uniform -h and error behaviour.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"io"
+)
+
+// Parse parses args with fs. The FlagSet must use flag.ContinueOnError.
+//
+// Behaviour, uniform across the commands:
+//
+//   - -h / -help prints the usage text to stdout and reports done=true
+//     with a nil error, so the command exits 0 without running;
+//   - a parse error is returned exactly once (the FlagSet's own
+//     duplicate diagnostic is suppressed), for the caller's log.Fatal
+//     to report on stderr — keeping stdout clean for machine-readable
+//     output such as -print-spec JSON.
+func Parse(fs *flag.FlagSet, args []string, stdout io.Writer) (done bool, err error) {
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(stdout)
+			fs.Usage()
+			return true, nil
+		}
+		return true, err
+	}
+	return false, nil
+}

@@ -1,0 +1,49 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func newSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	fs.Int("n", 1, "a number")
+	return fs
+}
+
+func TestParseOK(t *testing.T) {
+	var out strings.Builder
+	done, err := Parse(newSet(), []string{"-n", "3"}, &out)
+	if done || err != nil {
+		t.Fatalf("done=%v err=%v, want false/nil", done, err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout polluted: %q", out.String())
+	}
+}
+
+func TestParseHelpExitsCleanWithUsageOnStdout(t *testing.T) {
+	var out strings.Builder
+	done, err := Parse(newSet(), []string{"-h"}, &out)
+	if !done || err != nil {
+		t.Fatalf("done=%v err=%v, want true/nil", done, err)
+	}
+	if !strings.Contains(out.String(), "-n") {
+		t.Fatalf("usage missing from stdout: %q", out.String())
+	}
+}
+
+func TestParseErrorReportedOnceAndOffStdout(t *testing.T) {
+	var out strings.Builder
+	done, err := Parse(newSet(), []string{"-bogus"}, &out)
+	if !done || err == nil {
+		t.Fatalf("done=%v err=%v, want true/error", done, err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout polluted by the parse diagnostic: %q", out.String())
+	}
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("error does not name the flag: %v", err)
+	}
+}

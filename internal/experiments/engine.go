@@ -52,7 +52,7 @@ func identity(v uint64) uint64 { return v }
 type Campaign struct {
 	cfg  AdaptiveRunConfig
 	sb   *redundancy.Switchboard
-	env  *storms
+	env  CorruptionSource
 	crng *xrand.Rand
 
 	// occ counts rounds by replica count; index ≤ Policy.Max because the
@@ -108,7 +108,7 @@ func (c *Campaign) Rounds() int64 { return c.step }
 // returned Outcome's Votes slice aliases the farm's reusable buffer and
 // is only valid until the next Step.
 func (c *Campaign) Step() voting.Outcome {
-	k := c.env.corruptions(c.step)
+	k := c.env.Corruptions(c.step)
 	o, _ := c.sb.StepFirstK(uint64(c.step), k, c.crng)
 	c.step++
 	c.replicaRounds += int64(o.N)

@@ -1,0 +1,116 @@
+// External corruption sources for the §3.3 campaign engine.
+//
+// The fused Campaign and the reference loop were built around the
+// Fig. 6/7 storm generator, but the chaos harness (internal/scenario)
+// needs to drive the same organ — same switchboard, same controller,
+// same corrupt-value stream — from arbitrary scripted fault campaigns.
+// CorruptionSource abstracts "how many replicas does the environment
+// corrupt this round?" so that both engines accept any deterministic
+// per-round stream, and the scenario runner's differential mode can
+// prove fused/reference parity on workloads the storm model cannot
+// express.
+package experiments
+
+import (
+	"fmt"
+
+	"aft/internal/metrics"
+	"aft/internal/redundancy"
+	"aft/internal/voting"
+	"aft/internal/xrand"
+)
+
+// CorruptionSource yields the number of replicas the environment
+// corrupts at each round. Implementations must be deterministic and are
+// queried exactly once per round with strictly increasing step values.
+type CorruptionSource interface {
+	Corruptions(step int64) int
+}
+
+// Corruptions implements CorruptionSource on the storm generator, so
+// the stock Fig. 6/7 environment is just one source among others.
+func (s *storms) Corruptions(step int64) int { return s.corruptions(step) }
+
+// newOrgan builds the identity-method voting farm and switchboard every
+// campaign variant shares.
+func newOrgan(policy redundancy.Policy) (*redundancy.Switchboard, error) {
+	farm, err := voting.NewFarm(policy.Min, identity)
+	if err != nil {
+		return nil, err
+	}
+	return redundancy.NewSwitchboard(farm, policy, campaignKey)
+}
+
+// NewCampaignWithSource builds a fused campaign whose environment is
+// the given source instead of the configured storm model. cfg.Storms is
+// ignored. The corrupt-value stream is derived as xrand.New(cfg.Seed).
+// Split(), the same discipline RunAdaptiveReferenceSource uses, so the
+// two engines stay byte-identical for any (cfg, source) pair.
+func NewCampaignWithSource(cfg AdaptiveRunConfig, src CorruptionSource) (*Campaign, error) {
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("experiments: Steps must be positive")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("experiments: nil corruption source")
+	}
+	sb, err := newOrgan(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{
+		cfg:  cfg,
+		sb:   sb,
+		env:  src,
+		crng: xrand.New(cfg.Seed).Split(),
+		occ:  make([]int64, cfg.Policy.Max+1),
+	}, nil
+}
+
+// Sign signs a resize request with the campaign's message key. It
+// exists for harnesses that inject adversarial resize traffic — the
+// chaos scenarios' replay attacks re-send a correctly signed but stale
+// nonce and assert the switchboard rejects it.
+func (c *Campaign) Sign(newN int, dir redundancy.Direction, nonce uint64) redundancy.ResizeRequest {
+	return redundancy.SignResize(campaignKey, newN, dir, nonce)
+}
+
+// RunAdaptiveReferenceSource is RunAdaptiveReference with the storm
+// generator replaced by an external corruption source: the pre-engine
+// per-round loop (closure corruption, heap ballots, map histogram)
+// retained as the differential-testing oracle for source-driven
+// campaigns. The result must render byte-identically to a
+// NewCampaignWithSource run over an equivalent source; the scenario
+// test suite asserts exactly that on every committed scenario.
+func RunAdaptiveReferenceSource(cfg AdaptiveRunConfig, src CorruptionSource) (AdaptiveRunResult, error) {
+	if cfg.Steps <= 0 {
+		return AdaptiveRunResult{}, fmt.Errorf("experiments: Steps must be positive")
+	}
+	if src == nil {
+		return AdaptiveRunResult{}, fmt.Errorf("experiments: nil corruption source")
+	}
+	sb, err := newOrgan(cfg.Policy)
+	if err != nil {
+		return AdaptiveRunResult{}, err
+	}
+	corruptRng := xrand.New(cfg.Seed).Split()
+
+	res := AdaptiveRunResult{Hist: metrics.NewIntHistogram()}
+	for step := int64(0); step < cfg.Steps; step++ {
+		k := src.Corruptions(step)
+		var corrupted func(i int) bool
+		if k > 0 {
+			kk := k
+			corrupted = func(i int) bool { return i < kk }
+		}
+		o, _ := sb.Step(uint64(step), corrupted, corruptRng)
+		res.Rounds++
+		res.ReplicaRounds += int64(o.N)
+		res.Hist.Observe(o.N)
+		if o.Failed() {
+			res.Failures++
+		}
+	}
+	res.Raises, res.Lowers = sb.Controller().Stats()
+	res.MinFraction = res.Hist.Fraction(cfg.Policy.Min)
+	return res, nil
+}

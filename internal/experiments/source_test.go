@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"testing"
+
+	"aft/internal/redundancy"
+)
+
+// rampSource corrupts a scripted number of replicas: k(step) cycles
+// 0,0,0,1,0,2 — enough to provoke raises and quiet decay.
+type rampSource struct{}
+
+func (rampSource) Corruptions(step int64) int {
+	switch step % 6 {
+	case 3:
+		return 1
+	case 5:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func sourceConfig(steps int64) AdaptiveRunConfig {
+	return AdaptiveRunConfig{Steps: steps, Seed: 99, Policy: redundancy.DefaultPolicy()}
+}
+
+// TestSourceEnginesByteIdentical: the fused engine and the reference
+// loop must agree on every observable outcome for an external
+// corruption source, exactly as they do for the storm model.
+func TestSourceEnginesByteIdentical(t *testing.T) {
+	cfg := sourceConfig(40_000)
+	eng, err := NewCampaignWithSource(cfg, rampSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(cfg.Steps)
+	engRes := eng.Result()
+	refRes, err := RunAdaptiveReferenceSource(cfg, rampSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RenderFig7(engRes, cfg.Policy.Min)
+	b := RenderFig7(refRes, cfg.Policy.Min)
+	if a != b {
+		t.Fatalf("transcripts diverge:\n--- fused\n%s--- reference\n%s", a, b)
+	}
+	if engRes.Raises != refRes.Raises || engRes.Lowers != refRes.Lowers {
+		t.Fatalf("controller decisions diverge: %d/%d vs %d/%d",
+			engRes.Raises, engRes.Lowers, refRes.Raises, refRes.Lowers)
+	}
+	if engRes.Raises == 0 {
+		t.Fatal("source never provoked a raise; the parity check is vacuous")
+	}
+}
+
+// TestSourceValidation covers the construction error paths.
+func TestSourceValidation(t *testing.T) {
+	if _, err := NewCampaignWithSource(sourceConfig(0), rampSource{}); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := NewCampaignWithSource(sourceConfig(10), nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := RunAdaptiveReferenceSource(sourceConfig(0), rampSource{}); err == nil {
+		t.Error("zero steps accepted by reference")
+	}
+	if _, err := RunAdaptiveReferenceSource(sourceConfig(10), nil); err == nil {
+		t.Error("nil source accepted by reference")
+	}
+	bad := sourceConfig(10)
+	bad.Policy.Min = 4 // even: invalid
+	if _, err := NewCampaignWithSource(bad, rampSource{}); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+// TestCampaignSignVerifiesOnOwnSwitchboard: requests produced by Sign
+// must authenticate against the campaign's switchboard (fresh nonce
+// accepted, stale nonce rejected as a replay), the contract the chaos
+// scenarios' attack injection relies on.
+func TestCampaignSignVerifiesOnOwnSwitchboard(t *testing.T) {
+	cfg := sourceConfig(10)
+	c, err := NewCampaignWithSource(cfg, rampSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := c.Switchboard()
+	fresh := c.Sign(cfg.Policy.Min+2, redundancy.Raise, sb.LastNonce()+1)
+	if err := sb.Apply(fresh); err != nil {
+		t.Fatalf("fresh self-signed request rejected: %v", err)
+	}
+	stale := c.Sign(cfg.Policy.Min, redundancy.Lower, sb.LastNonce())
+	if err := sb.Apply(stale); err == nil {
+		t.Fatal("stale nonce accepted")
+	}
+}

@@ -1,0 +1,252 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update rewrites the committed golden transcripts. Workflow: change
+// the runner or a builtin scenario, run
+//
+//	go test ./internal/scenario -run TestGolden -update
+//
+// and review the transcript diff like any other code change.
+var update = flag.Bool("update", false, "rewrite golden transcripts")
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".golden")
+}
+
+// TestGoldenTranscripts replays every committed scenario twice and
+// asserts (a) the two transcripts are byte-identical — determinism —
+// and (b) they match the committed golden byte for byte — stability
+// across code changes.
+func TestGoldenTranscripts(t *testing.T) {
+	for _, spec := range Builtins() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			first, err := Run(spec, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(spec, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Transcript != second.Transcript {
+				t.Fatalf("two runs of %s produced different transcripts", spec.Name)
+			}
+			if len(first.Violations) != 0 {
+				t.Fatalf("unsabotaged scenario %s violated invariants: %v", spec.Name, first.Violations)
+			}
+			if first.InvariantsChecked == 0 {
+				t.Fatalf("scenario %s checked no invariants", spec.Name)
+			}
+			path := goldenPath(spec.Name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(first.Transcript), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if string(want) != first.Transcript {
+				t.Fatalf("transcript for %s deviates from golden %s\n--- got\n%s",
+					spec.Name, path, first.Transcript)
+			}
+		})
+	}
+}
+
+// TestGoldenSeedSensitivity guards against a runner that ignores its
+// seed: a different seed must produce a different transcript for any
+// scenario with stochastic phases.
+func TestGoldenSeedSensitivity(t *testing.T) {
+	spec, ok := Builtin("storm-ramp")
+	if !ok {
+		t.Fatal("storm-ramp builtin missing")
+	}
+	a, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, Options{Seed: spec.Seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Transcript == b.Transcript {
+		t.Fatal("different seeds produced identical transcripts")
+	}
+}
+
+// TestScenarioBehaviours pins the qualitative story each scenario
+// exists to tell, independent of transcript bytes.
+func TestScenarioBehaviours(t *testing.T) {
+	results := make(map[string]*Result)
+	for _, spec := range Builtins() {
+		res, err := Run(spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[spec.Name] = res
+	}
+
+	quiet := results["quiet"]
+	if quiet.Resizes != 0 || quiet.OrganFailures != 0 || quiet.WatchdogFires != 0 || quiet.ExecFailures != 0 {
+		t.Errorf("quiet scenario was not quiet: %+v", quiet)
+	}
+	if quiet.FinalRedundancy != 3 {
+		t.Errorf("quiet scenario ended at redundancy %d, want 3", quiet.FinalRedundancy)
+	}
+
+	burst := results["transient-burst"]
+	if burst.Raises == 0 {
+		t.Error("transient-burst never raised redundancy")
+	}
+	if burst.Lowers == 0 {
+		t.Error("transient-burst never lowered redundancy back")
+	}
+	if burst.FinalRedundancy != 3 {
+		t.Errorf("transient-burst ended at redundancy %d, want 3 after decay", burst.FinalRedundancy)
+	}
+
+	flap := results["flapping"]
+	if flap.ExecSwaps < 2 {
+		t.Errorf("flapping produced %d verdict swaps, want at least one full flap", flap.ExecSwaps)
+	}
+
+	latch := results["permanent-latch"]
+	if latch.ExecSwaps == 0 {
+		t.Error("permanent-latch never turned the verdict permanent")
+	}
+
+	ramp := results["storm-ramp"]
+	if ramp.Raises < 3 {
+		t.Errorf("storm-ramp raised only %d times, want the full climb", ramp.Raises)
+	}
+
+	replay := results["storm-replay"]
+	if want := int64(len(replay.Spec.Replays)); replay.RejectedResizes != want {
+		t.Errorf("storm-replay rejected %d adversarial messages, want %d", replay.RejectedResizes, want)
+	}
+
+	cascade := results["watchdog-cascade"]
+	if cascade.WatchdogFires == 0 {
+		t.Error("watchdog-cascade never fired a watchdog")
+	}
+
+	td := results["teardown"]
+	if td.OrganRounds != td.Spec.TeardownAt {
+		t.Errorf("teardown ran %d organ rounds, want exactly %d", td.OrganRounds, td.Spec.TeardownAt)
+	}
+}
+
+// TestSpecJSONRoundTrip proves every builtin survives the file format
+// cmd/aft-chaos loads, unchanged.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, spec := range Builtins() {
+		data, err := spec.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, spec.Name+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		orig, err := Run(spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reload, err := Run(loaded, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if orig.Transcript != reload.Transcript {
+			t.Fatalf("%s: transcript changed across a JSON round trip", spec.Name)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	base, _ := Builtin("quiet")
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"zero horizon", func(s *Spec) { s.Horizon = 0 }},
+		{"no phases", func(s *Spec) { s.Phases = nil }},
+		{"late first phase", func(s *Spec) { s.Phases[0].Start = 5 }},
+		{"bad model kind", func(s *Spec) { s.Phases[0].Model.Kind = "solar-flare" }},
+		{"bernoulli p out of range", func(s *Spec) {
+			s.Phases[0].Model = ModelSpec{Kind: "bernoulli", P: 1.5}
+			s.Phases[0].Upset = true
+		}},
+		{"striking model with no target", func(s *Spec) { s.Phases[0].Model = ModelSpec{Kind: "always"} }},
+		{"corrupt without organ", func(s *Spec) {
+			s.Organ = false
+			s.Phases[0].Model = ModelSpec{Kind: "always"}
+			s.Phases[0].Corrupt = 1
+		}},
+		{"upset without executor", func(s *Spec) {
+			s.Executor = nil
+			s.Phases[0].Model = ModelSpec{Kind: "always"}
+			s.Phases[0].Upset = true
+		}},
+		{"crash without watchdog", func(s *Spec) {
+			s.Watchdogs = nil
+			s.Phases[0].Model = ModelSpec{Kind: "always"}
+			s.Phases[0].Crash = true
+		}},
+		{"teardown past horizon", func(s *Spec) { s.TeardownAt = s.Horizon + 1 }},
+		{"replay out of range", func(s *Spec) { s.Replays = []ReplaySpec{{At: s.Horizon, Kind: AttackReplay}} }},
+		{"unknown attack", func(s *Spec) { s.Replays = []ReplaySpec{{At: 1, Kind: "mitm"}} }},
+		{"bad watchdog", func(s *Spec) { s.Watchdogs = []WatchdogSpec{{Name: "", Interval: 0, Deadline: 0}} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base
+			spec.Phases = append([]Phase(nil), base.Phases...)
+			tc.mutate(&spec)
+			if err := spec.Validate(); err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if _, err := Run(spec, Options{}); err == nil {
+				t.Fatalf("Run accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestBuiltinLookup(t *testing.T) {
+	names := Names()
+	if len(names) != len(Builtins()) {
+		t.Fatalf("Names() returned %d entries for %d builtins", len(names), len(Builtins()))
+	}
+	for _, n := range names {
+		if _, ok := Builtin(n); !ok {
+			t.Errorf("builtin %q not found by name", n)
+		}
+	}
+	if _, ok := Builtin("no-such-scenario"); ok {
+		t.Error("lookup of unknown scenario succeeded")
+	}
+	for _, spec := range Builtins() {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("builtin %s fails its own validation: %v", spec.Name, err)
+		}
+	}
+}

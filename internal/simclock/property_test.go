@@ -1,0 +1,121 @@
+package simclock
+
+import (
+	"testing"
+
+	"aft/internal/xrand"
+)
+
+// TestReentrantSameTimeProperty is the property the scenario Runner's
+// phase-transition and teardown mechanisms stand on: events scheduled
+// from within a running event at the *current* time must execute in the
+// same run, at that time, in schedule (seq) order — and never be
+// dropped. The test builds randomized schedules whose events re-enter
+// the scheduler up to a depth bound, then checks every executed event
+// against the schedule order.
+func TestReentrantSameTimeProperty(t *testing.T) {
+	type record struct {
+		at  Time
+		seq int // global scheduling order
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		rng := xrand.New(seed)
+		s := New()
+		var scheduled, executed []record
+		nextSeq := 0
+
+		var schedule func(at Time, depth int)
+		schedule = func(at Time, depth int) {
+			rec := record{at: at, seq: nextSeq}
+			nextSeq++
+			scheduled = append(scheduled, rec)
+			s.At(at, func(sc *Scheduler) {
+				if sc.Now() != rec.at {
+					t.Fatalf("seed %d: event scheduled for %d ran at %d", seed, rec.at, sc.Now())
+				}
+				executed = append(executed, rec)
+				if depth < 3 {
+					// Re-enter: schedule 0..2 follow-ups, biased to the
+					// current time (the re-entrant case under test),
+					// sometimes the future.
+					for n := rng.Intn(3); n > 0; n-- {
+						at := sc.Now()
+						if rng.Bool(0.3) {
+							at += Time(rng.Intn(4))
+						}
+						schedule(at, depth+1)
+					}
+				}
+			})
+		}
+		for i := 0; i < 10; i++ {
+			schedule(Time(rng.Intn(8)), 0)
+		}
+		s.RunAll()
+
+		if len(executed) != len(scheduled) {
+			t.Fatalf("seed %d: scheduled %d events, executed %d — events were dropped",
+				seed, len(scheduled), len(executed))
+		}
+		for i := 1; i < len(executed); i++ {
+			prev, cur := executed[i-1], executed[i]
+			if cur.at < prev.at {
+				t.Fatalf("seed %d: time went backwards: %d after %d", seed, cur.at, prev.at)
+			}
+			if cur.at == prev.at && cur.seq < prev.seq {
+				t.Fatalf("seed %d: same-time events out of schedule order: seq %d ran after %d at t=%d",
+					seed, prev.seq, cur.seq, cur.at)
+			}
+		}
+	}
+}
+
+// TestReentrantChainRunsSameStep pins the depth-first shape directly: a
+// running event schedules a successor at the current time, which
+// schedules another — all three must run at the same virtual time, in
+// order, within one Run call.
+func TestReentrantChainRunsSameStep(t *testing.T) {
+	s := New()
+	var order []string
+	s.At(5, func(sc *Scheduler) {
+		order = append(order, "a")
+		sc.At(sc.Now(), func(sc *Scheduler) {
+			order = append(order, "b")
+			sc.At(sc.Now(), func(sc *Scheduler) {
+				order = append(order, "c")
+			})
+		})
+	})
+	if n := s.Run(5); n != 3 {
+		t.Fatalf("Run(5) executed %d events, want 3 (re-entrant same-time events must run within the horizon)", n)
+	}
+	if got := len(order); got != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock at %d, want 5", s.Now())
+	}
+}
+
+// TestEarlyScheduledEventPrecedesLateChain mirrors the scenario
+// Runner's teardown ordering: an event scheduled up front for time T
+// must run before a chained tick that arrives at T with a later seq —
+// so a teardown always precedes the voting round of its own step.
+func TestEarlyScheduledEventPrecedesLateChain(t *testing.T) {
+	s := New()
+	var order []string
+	s.At(3, func(*Scheduler) { order = append(order, "teardown") })
+	var tick func(*Scheduler)
+	tick = func(sc *Scheduler) {
+		if sc.Now() == 3 {
+			order = append(order, "tick")
+			return
+		}
+		sc.After(1, tick)
+	}
+	s.At(0, tick)
+	s.RunAll()
+	if len(order) != 2 || order[0] != "teardown" || order[1] != "tick" {
+		t.Fatalf("wrong order: %v", order)
+	}
+}
