@@ -5,18 +5,26 @@
 // Usage:
 //
 //	aft-bench [-fig 4|5|6|7|e5|e6|e7|e8|bench7|all] [-steps N] [-seed S]
-//	          [-parallel W] [-bench-out FILE]
+//	          [-parallel W] [-bench-out FILE] [-cache DIR] [-trajectory FILE]
 //
 // -steps applies to the Fig. 7 run; pass 65000000 for the paper's full
 // 65-million-step experiment. -parallel runs the independent-trial
 // sweeps (E8, E9, E10) on a worker pool of W goroutines (0 = one per
 // CPU); results are byte-identical to the serial run.
 //
+// -cache DIR memoizes the E8/E9/E10 sweep cells on disk,
+// content-addressed by the cell's complete parameter set (spec hash +
+// seed): cells already computed by any previous invocation are served
+// from the cache and only fresh cells run. The rows are byte-identical
+// with and without the cache.
+//
 // -fig bench7 times the §3.3 campaign hot path on both the fused
 // zero-allocation engine and the pre-engine reference loop, and writes a
 // JSON snapshot (ns/round, allocs/round, rounds/sec, speedup) to
-// -bench-out so the perf trajectory is tracked PR over PR. It is not
-// part of "all".
+// -bench-out so the perf trajectory is tracked PR over PR; it also
+// appends a dated entry to -trajectory, the append-only perf history
+// (the snapshot alone is a single overwritten point). It is not part of
+// "all".
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -46,8 +55,18 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 1906, "random seed")
 	parallel := fs.Int("parallel", 1, "worker pool for the E8/E9/E10 sweeps: 1 = serial, 0 = one per CPU, N = N workers")
 	benchOut := fs.String("bench-out", "BENCH_fig7.json", "where -fig bench7 writes its JSON snapshot")
+	cacheDir := fs.String("cache", "", "memoize E8/E9/E10 sweep cells in DIR, content-addressed by spec hash + seed (empty = no cache)")
+	trajectory := fs.String("trajectory", "BENCH_trajectory.json", "append-only perf history -fig bench7 extends (empty = skip)")
 	if done, err := cli.Parse(fs, args, stdout); done {
 		return err
+	}
+
+	var cache *experiments.SweepCache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = experiments.OpenSweepCache(*cacheDir); err != nil {
+			return err
+		}
 	}
 
 	runners := map[string]func() error{
@@ -115,7 +134,7 @@ func run(args []string, stdout io.Writer) error {
 			return nil
 		},
 		"e8": func() error {
-			rows, err := experiments.RunE8Parallel(200_000, *seed, *parallel)
+			rows, err := experiments.RunE8ParallelCached(200_000, *seed, *parallel, cache)
 			if err != nil {
 				return err
 			}
@@ -123,7 +142,7 @@ func run(args []string, stdout io.Writer) error {
 			return nil
 		},
 		"e9": func() error {
-			rows, err := experiments.RunE9Parallel(experiments.DefaultE9Config(), *parallel)
+			rows, err := experiments.RunE9ParallelCached(experiments.DefaultE9Config(), *parallel, cache)
 			if err != nil {
 				return err
 			}
@@ -131,7 +150,7 @@ func run(args []string, stdout io.Writer) error {
 			return nil
 		},
 		"e10": func() error {
-			rows, err := experiments.RunE10Parallel(200_000, *seed, nil, *parallel)
+			rows, err := experiments.RunE10ParallelCached(200_000, *seed, nil, *parallel, cache)
 			if err != nil {
 				return err
 			}
@@ -139,7 +158,7 @@ func run(args []string, stdout io.Writer) error {
 			return nil
 		},
 		"bench7": func() error {
-			return runBench7(*steps, *seed, *benchOut, stdout)
+			return runBench7(*steps, *seed, *benchOut, *trajectory, stdout)
 		},
 	}
 
@@ -148,12 +167,25 @@ func run(args []string, stdout io.Writer) error {
 	if *parallel != 1 && (*fig == "all" || usesPool[*fig]) {
 		fmt.Fprintf(stdout, "(E8/E9/E10 sweeps on a %d-worker pool)\n", experiments.Workers(*parallel))
 	}
+	reportCache := func() {
+		if cache == nil {
+			return
+		}
+		hits, misses := cache.Stats()
+		fmt.Fprintf(stdout, "(sweep cache %s: %d hits, %d misses)\n", cache.Dir(), hits, misses)
+	}
 	if *fig != "all" {
 		r, ok := runners[*fig]
 		if !ok {
 			return fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, e5..e10, all)", *fig)
 		}
-		return r()
+		if err := r(); err != nil {
+			return err
+		}
+		if usesPool[*fig] {
+			reportCache()
+		}
+		return nil
 	}
 	for _, k := range order {
 		fmt.Fprintf(stdout, "\n================ %s ================\n", k)
@@ -161,7 +193,57 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	reportCache()
 	return nil
+}
+
+// trajectoryEntry is one dated point of the append-only perf history.
+type trajectoryEntry struct {
+	Date       string  `json:"date"`
+	Steps      int64   `json:"steps"`
+	Seed       uint64  `json:"seed"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	EngineNs   float64 `json:"engine_ns_per_round"`
+	RefNs      float64 `json:"reference_ns_per_round"`
+	Speedup    float64 `json:"speedup"`
+	RoundsSec  float64 `json:"engine_rounds_per_sec"`
+}
+
+// appendTrajectory extends the perf-history file with one entry. The
+// file is a JSON array; a missing file starts a new history, a corrupt
+// one is an error (history should never be silently discarded).
+func appendTrajectory(path string, e trajectoryEntry) error {
+	var entries []trajectoryEntry
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("%s: corrupt perf history: %w", path, err)
+		}
+	case os.IsNotExist(err):
+	default:
+		return err
+	}
+	entries = append(entries, e)
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	// Temp file + rename: a corrupt history is a hard error above, so a
+	// kill mid-write must never be able to produce one.
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(out, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // benchSnapshot is the BENCH_fig7.json schema: the §3.3 campaign hot
@@ -214,9 +296,9 @@ func measureCampaign(steps int64, fn func() error) (benchRow, error) {
 	}, nil
 }
 
-// runBench7 benchmarks the Fig. 7 campaign on both engines and writes
-// the snapshot.
-func runBench7(steps int64, seed uint64, out string, stdout io.Writer) error {
+// runBench7 benchmarks the Fig. 7 campaign on both engines, writes the
+// snapshot, and appends to the perf history.
+func runBench7(steps int64, seed uint64, out, trajectory string, stdout io.Writer) error {
 	cfg := experiments.DefaultFig7Config(steps)
 	cfg.Seed = seed
 	snap := benchSnapshot{
@@ -275,5 +357,21 @@ func runBench7(steps int64, seed uint64, out string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "reference: %8.1f ns/round  %6.4f allocs/round  %12.0f rounds/sec\n",
 		snap.Reference.NsPerRound, snap.Reference.AllocsPerRound, snap.Reference.RoundsPerSec)
 	fmt.Fprintf(stdout, "speedup:   %.2fx  (snapshot written to %s)\n", snap.Speedup, out)
+	if trajectory != "" {
+		err := appendTrajectory(trajectory, trajectoryEntry{
+			Date:       time.Now().UTC().Format(time.RFC3339),
+			Steps:      snap.Steps,
+			Seed:       snap.Seed,
+			GoMaxProcs: snap.GoMaxProcs,
+			EngineNs:   snap.Engine.NsPerRound,
+			RefNs:      snap.Reference.NsPerRound,
+			Speedup:    snap.Speedup,
+			RoundsSec:  snap.Engine.RoundsPerSec,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "perf history appended to %s\n", trajectory)
+	}
 	return nil
 }

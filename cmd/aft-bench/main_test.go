@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -37,12 +39,87 @@ func TestRunBench7WritesSnapshot(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench7 times two engine runs")
 	}
-	out := filepath.Join(t.TempDir(), "bench.json")
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	traj := filepath.Join(dir, "trajectory.json")
 	var buf strings.Builder
-	if err := run([]string{"-fig", "bench7", "-steps", "50000", "-bench-out", out}, &buf); err != nil {
+	if err := run([]string{"-fig", "bench7", "-steps", "50000", "-bench-out", out, "-trajectory", traj}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "speedup:") {
 		t.Fatalf("bench7 output lacks speedup line:\n%s", buf.String())
+	}
+}
+
+// TestBench7AppendsTrajectory asserts the perf history grows by one
+// dated entry per bench7 run instead of being overwritten.
+func TestBench7AppendsTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench7 times two engine runs")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	traj := filepath.Join(dir, "trajectory.json")
+	for i := 0; i < 2; i++ {
+		var buf strings.Builder
+		if err := run([]string{"-fig", "bench7", "-steps", "30000", "-bench-out", out, "-trajectory", traj}, &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("trajectory is not a JSON array: %v\n%s", err, data)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("trajectory has %d entries after 2 runs", len(entries))
+	}
+	for _, e := range entries {
+		if e["date"] == "" || e["speedup"] == nil {
+			t.Fatalf("entry lacks date/speedup: %v", e)
+		}
+	}
+	// A corrupt history must be an error, not silently discarded.
+	if err := os.WriteFile(traj, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-fig", "bench7", "-steps", "30000", "-bench-out", out, "-trajectory", traj}, &buf); err == nil {
+		t.Fatal("corrupt trajectory accepted")
+	}
+}
+
+// TestSweepCacheFlag asserts -cache serves repeat invocations from the
+// memoized cells with identical output.
+func TestSweepCacheFlag(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	runE10 := func(args ...string) string {
+		var buf strings.Builder
+		if err := run(append([]string{"-fig", "e10"}, args...), &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	plain := runE10()
+	cold := runE10("-cache", cacheDir)
+	warm := runE10("-cache", cacheDir)
+	if !strings.Contains(cold, "4 misses") {
+		t.Fatalf("cold cache stats missing:\n%s", cold)
+	}
+	if !strings.Contains(warm, "4 hits, 0 misses") {
+		t.Fatalf("warm cache stats missing:\n%s", warm)
+	}
+	strip := func(s string) string {
+		i := strings.Index(s, "(sweep cache")
+		if i < 0 {
+			return s
+		}
+		return s[:i]
+	}
+	if strip(cold) != plain || strip(warm) != plain {
+		t.Fatal("cached E10 output differs from uncached")
 	}
 }

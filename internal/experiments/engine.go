@@ -62,6 +62,20 @@ type Campaign struct {
 	step int64
 
 	failures, replicaRounds int64
+
+	// red and dtof are the Fig. 6 sampled series, nil unless
+	// cfg.SampleEvery > 0. They live on the campaign (not the caller) so
+	// a snapshot carries them and a resumed Fig. 6 run renders the full
+	// staircase.
+	red, dtof *metrics.Series
+}
+
+// newSeries allocates the sampling series when the config asks for them.
+func (c *Campaign) newSeries() {
+	if c.cfg.SampleEvery > 0 {
+		c.red = metrics.NewSeries("redundancy")
+		c.dtof = metrics.NewSeries("dtof")
+	}
 }
 
 // NewCampaign validates cfg and allocates every buffer the campaign will
@@ -87,13 +101,15 @@ func NewCampaign(cfg AdaptiveRunConfig) (*Campaign, error) {
 	rng := xrand.New(cfg.Seed)
 	env := newStorms(cfg.Storms, rng)
 	crng := rng.Split()
-	return &Campaign{
+	c := &Campaign{
 		cfg:  cfg,
 		sb:   sb,
 		env:  env,
 		crng: crng,
 		occ:  make([]int64, cfg.Policy.Max+1),
-	}, nil
+	}
+	c.newSeries()
+	return c, nil
 }
 
 // Switchboard exposes the campaign's switchboard (read-only use:
@@ -110,6 +126,10 @@ func (c *Campaign) Rounds() int64 { return c.step }
 func (c *Campaign) Step() voting.Outcome {
 	k := c.env.Corruptions(c.step)
 	o, _ := c.sb.StepFirstK(uint64(c.step), k, c.crng)
+	if c.red != nil && c.step%c.cfg.SampleEvery == 0 {
+		c.red.Append(c.step, float64(o.N))
+		c.dtof.Append(c.step, float64(o.DTOF))
+	}
 	c.step++
 	c.replicaRounds += int64(o.N)
 	c.occ[o.N]++
@@ -118,6 +138,19 @@ func (c *Campaign) Step() voting.Outcome {
 	}
 	return o
 }
+
+// Remaining reports how many configured rounds are left to run; a
+// freshly constructed campaign has cfg.Steps remaining, a finished one
+// zero. Resume workflows use it to size the continuation.
+func (c *Campaign) Remaining() int64 {
+	if r := c.cfg.Steps - c.step; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Config returns the campaign's configuration.
+func (c *Campaign) Config() AdaptiveRunConfig { return c.cfg }
 
 // Run steps the campaign n more rounds. It is the batch entry point for
 // callers that do not need per-round outcomes.
@@ -136,6 +169,8 @@ func (c *Campaign) Result() AdaptiveRunResult {
 		Rounds:        c.step,
 		Failures:      c.failures,
 		ReplicaRounds: c.replicaRounds,
+		Redundancy:    c.red,
+		DTOF:          c.dtof,
 	}
 	for n, cnt := range c.occ {
 		if cnt > 0 {

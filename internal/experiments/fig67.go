@@ -6,7 +6,6 @@ import (
 
 	"aft/internal/metrics"
 	"aft/internal/redundancy"
-	"aft/internal/voting"
 	"aft/internal/xrand"
 )
 
@@ -171,6 +170,47 @@ func (s *storms) corruptions(step int64) int {
 	return 0
 }
 
+// stormsState is the serializable state of the storm generator: the
+// onset schedule, the in-flight storm's shape, and the generator's PRNG
+// stream. cfg is not part of the state — it is restored from the
+// campaign configuration.
+type stormsState struct {
+	rng       [4]uint64
+	nextOnset int64
+	stormEnd  int64
+	level     int64
+	onset     int64
+	peak      int
+	inStorm   bool
+}
+
+// exportState captures the generator for a checkpoint.
+func (s *storms) exportState() stormsState {
+	return stormsState{
+		rng:       s.rng.State(),
+		nextOnset: s.nextOnset,
+		stormEnd:  s.stormEnd,
+		level:     s.level,
+		onset:     s.onset,
+		peak:      s.peak,
+		inStorm:   s.inStorm,
+	}
+}
+
+// restoreState rewinds the generator to a captured state.
+func (s *storms) restoreState(st stormsState) error {
+	if err := s.rng.SetState(st.rng); err != nil {
+		return err
+	}
+	s.nextOnset = st.nextOnset
+	s.stormEnd = st.stormEnd
+	s.level = st.level
+	s.onset = st.onset
+	s.peak = st.peak
+	s.inStorm = st.inStorm
+	return nil
+}
+
 // AdaptiveRunConfig parameterizes a Fig. 6/7-style run.
 type AdaptiveRunConfig struct {
 	// Steps is the number of voting rounds (the paper's Fig. 7 ran 65
@@ -219,21 +259,8 @@ func RunAdaptive(cfg AdaptiveRunConfig) (AdaptiveRunResult, error) {
 	if err != nil {
 		return AdaptiveRunResult{}, err
 	}
-	var red, dtof *metrics.Series
-	if cfg.SampleEvery > 0 {
-		red = metrics.NewSeries("redundancy")
-		dtof = metrics.NewSeries("dtof")
-	}
-	for step := int64(0); step < cfg.Steps; step++ {
-		o := c.Step()
-		if cfg.SampleEvery > 0 && step%cfg.SampleEvery == 0 {
-			red.Append(step, float64(o.N))
-			dtof.Append(step, float64(o.DTOF))
-		}
-	}
-	res := c.Result()
-	res.Redundancy, res.DTOF = red, dtof
-	return res, nil
+	c.Run(cfg.Steps)
+	return c.Result(), nil
 }
 
 // RunAdaptiveReference is the pre-engine §3.3 loop — per-round ballot
@@ -244,52 +271,12 @@ func RunAdaptive(cfg AdaptiveRunConfig) (AdaptiveRunResult, error) {
 // benchmark snapshot (BENCH_fig7.json) records its speed as the
 // baseline the engine is measured against.
 func RunAdaptiveReference(cfg AdaptiveRunConfig) (AdaptiveRunResult, error) {
-	if cfg.Steps <= 0 {
-		return AdaptiveRunResult{}, fmt.Errorf("experiments: Steps must be positive")
-	}
-	if err := cfg.Storms.Validate(); err != nil {
-		return AdaptiveRunResult{}, err
-	}
-	farm, err := voting.NewFarm(cfg.Policy.Min, func(v uint64) uint64 { return v })
+	rc, err := NewReferenceCampaign(cfg)
 	if err != nil {
 		return AdaptiveRunResult{}, err
 	}
-	sb, err := redundancy.NewSwitchboard(farm, cfg.Policy, campaignKey)
-	if err != nil {
-		return AdaptiveRunResult{}, err
-	}
-	rng := xrand.New(cfg.Seed)
-	env := newStorms(cfg.Storms, rng)
-	corruptRng := rng.Split()
-
-	res := AdaptiveRunResult{Hist: metrics.NewIntHistogram()}
-	if cfg.SampleEvery > 0 {
-		res.Redundancy = metrics.NewSeries("redundancy")
-		res.DTOF = metrics.NewSeries("dtof")
-	}
-
-	for step := int64(0); step < cfg.Steps; step++ {
-		k := env.corruptions(step)
-		var corrupted func(i int) bool
-		if k > 0 {
-			kk := k
-			corrupted = func(i int) bool { return i < kk }
-		}
-		o, _ := sb.Step(uint64(step), corrupted, corruptRng)
-		res.Rounds++
-		res.ReplicaRounds += int64(o.N)
-		res.Hist.Observe(o.N)
-		if o.Failed() {
-			res.Failures++
-		}
-		if cfg.SampleEvery > 0 && step%cfg.SampleEvery == 0 {
-			res.Redundancy.Append(step, float64(o.N))
-			res.DTOF.Append(step, float64(o.DTOF))
-		}
-	}
-	res.Raises, res.Lowers = sb.Controller().Stats()
-	res.MinFraction = res.Hist.Fraction(cfg.Policy.Min)
-	return res, nil
+	rc.Run(cfg.Steps)
+	return rc.Result(), nil
 }
 
 // DefaultFig6Config returns the short staircase run of Fig. 6.

@@ -1,0 +1,207 @@
+// Memoized sweep cells: a content-addressed on-disk cache for the
+// E8/E9/E10 ablation grids.
+//
+// Every cell of those sweeps is a pure function of its parameters — the
+// spec (steps, storm regime, policy or filter configuration) and the
+// seed — so recomputing a cell across aft-bench invocations is pure
+// waste: the full-scale grids re-run minutes of campaign for rows that
+// cannot change. SweepCache keys each cell by the SHA-256 of its
+// canonical JSON spec (plus a schema version and the cell kind) and
+// stores the row as JSON under that hash, FlorDB-style: memoization as
+// checkpointing at the granularity of one sweep cell.
+//
+// Correctness rules:
+//
+//   - the key must cover every input the cell reads — all cached
+//     variants below serialize the complete parameter set, never a
+//     summary;
+//   - memoCacheVersion must be bumped whenever any cell's semantics
+//     change (an engine fix that alters transcripts, a new column), so
+//     stale rows can never be served across a behaviour change;
+//   - cache files are written atomically and unreadable/corrupt entries
+//     are treated as misses and recomputed, never trusted.
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// memoCacheVersion keys the cache schema: bump on any change to cell
+// semantics or row layout, and stale entries become unreachable.
+const memoCacheVersion = 1
+
+// SweepCache is a content-addressed, concurrency-safe, on-disk cache of
+// sweep cells. A nil *SweepCache is valid and disables memoization, so
+// call sites thread an optional cache without branching.
+type SweepCache struct {
+	dir          string
+	hits, misses atomic.Int64
+}
+
+// OpenSweepCache opens (creating if needed) a cache directory.
+func OpenSweepCache(dir string) (*SweepCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("experiments: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &SweepCache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *SweepCache) Dir() string { return c.dir }
+
+// Stats reports how many lookups hit and missed since the cache was
+// opened.
+func (c *SweepCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// cellKey computes the content address of a cell: SHA-256 over the cell
+// kind, the cache schema version, and the canonical JSON of the
+// complete parameter set.
+func cellKey(kind string, params any) (string, error) {
+	spec, err := json.Marshal(params)
+	if err != nil {
+		return "", fmt.Errorf("experiments: encode cache key: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s/v%d\n", kind, memoCacheVersion)
+	h.Write(spec)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// memoCell returns the cached value for (kind, params) or computes and
+// stores it. Concurrent computations of the same cell are benign: both
+// compute the same value and the atomic rename keeps the file whole.
+func memoCell[T any](c *SweepCache, kind string, params any, compute func() (T, error)) (T, error) {
+	if c == nil {
+		return compute()
+	}
+	var zero T
+	key, err := cellKey(kind, params)
+	if err != nil {
+		return zero, err
+	}
+	path := filepath.Join(c.dir, key+".json")
+	if data, err := os.ReadFile(path); err == nil {
+		var cached T
+		if json.Unmarshal(data, &cached) == nil {
+			c.hits.Add(1)
+			return cached, nil
+		}
+		// Unreadable entry: fall through and recompute.
+	}
+	c.misses.Add(1)
+	v, err := compute()
+	if err != nil {
+		return zero, err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return zero, err
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return zero, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return zero, err
+	}
+	if err := tmp.Close(); err != nil {
+		return zero, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return zero, err
+	}
+	return v, nil
+}
+
+// e8CellParams is the complete input set of one E8 cell.
+type e8CellParams struct {
+	Steps  int64
+	Seed   uint64
+	Storms StormConfig
+	// Fixed is the organ size of a fixed contender, 0 for the autonomic
+	// one.
+	Fixed int
+}
+
+// RunE8ParallelCached is RunE8Parallel with per-cell memoization:
+// already-computed cells are served from the cache, fresh ones are
+// computed (in parallel) and stored. A nil cache degenerates to
+// RunE8Parallel.
+func RunE8ParallelCached(steps int64, seed uint64, workers int, cache *SweepCache) ([]E8Row, error) {
+	steps, storms := e8Setup(steps)
+	return RunParallel(len(e8FixedSizes)+1, workers, func(i int) (E8Row, error) {
+		p := e8CellParams{Steps: steps, Seed: seed, Storms: storms}
+		if i < len(e8FixedSizes) {
+			p.Fixed = e8FixedSizes[i]
+			return memoCell(cache, "e8", p, func() (E8Row, error) {
+				return runFixed(steps, seed, p.Fixed, storms)
+			})
+		}
+		return memoCell(cache, "e8", p, func() (E8Row, error) {
+			return e8Autonomic(steps, seed, storms)
+		})
+	})
+}
+
+// e9CellParams is the complete input set of one E9 cell.
+type e9CellParams struct {
+	K, Threshold float64
+	Traces       int
+	TraceLen     int
+	TransientP   float64
+	Seed         uint64
+}
+
+// RunE9ParallelCached is RunE9Parallel with per-cell memoization.
+func RunE9ParallelCached(cfg E9Config, workers int, cache *SweepCache) ([]E9Row, error) {
+	if err := e9Validate(cfg); err != nil {
+		return nil, err
+	}
+	nt := len(cfg.Thresholds)
+	return RunParallel(len(cfg.Ks)*nt, workers, func(i int) (E9Row, error) {
+		k, threshold := cfg.Ks[i/nt], cfg.Thresholds[i%nt]
+		p := e9CellParams{
+			K: k, Threshold: threshold,
+			Traces: cfg.Traces, TraceLen: cfg.TraceLen,
+			TransientP: cfg.TransientP, Seed: cfg.Seed,
+		}
+		return memoCell(cache, "e9", p, func() (E9Row, error) {
+			return e9Cell(cfg, k, threshold)
+		})
+	})
+}
+
+// e10CellParams is the complete input set of one E10 cell.
+type e10CellParams struct {
+	Steps      int64
+	Seed       uint64
+	Storms     StormConfig
+	LowerAfter int
+}
+
+// RunE10ParallelCached is RunE10Parallel with per-cell memoization.
+func RunE10ParallelCached(steps int64, seed uint64, lowerAfters []int, workers int, cache *SweepCache) ([]E10Row, error) {
+	steps, lowerAfters, storms := e10Setup(steps, lowerAfters)
+	return RunParallel(len(lowerAfters), workers, func(i int) (E10Row, error) {
+		p := e10CellParams{Steps: steps, Seed: seed, Storms: storms, LowerAfter: lowerAfters[i]}
+		return memoCell(cache, "e10", p, func() (E10Row, error) {
+			return e10Row(steps, seed, storms, lowerAfters[i])
+		})
+	})
+}

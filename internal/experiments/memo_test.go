@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSweepCacheMemoizesCells asserts the cached sweeps produce rows
+// identical to the uncached runs, that a second invocation is served
+// entirely from the cache, and that cache state survives reopening (the
+// cross-invocation property aft-bench relies on).
+func TestSweepCacheMemoizesCells(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenSweepCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plainE8, err := RunE8Parallel(20_000, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotE8, err := RunE8ParallelCached(20_000, 5, 1, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderE8(gotE8) != RenderE8(plainE8) {
+		t.Fatal("cached E8 rows differ from uncached")
+	}
+	hits, misses := cache.Stats()
+	if hits != 0 || misses != int64(len(plainE8)) {
+		t.Fatalf("cold cache: hits=%d misses=%d", hits, misses)
+	}
+
+	// A fresh handle over the same directory: everything hits.
+	reopened, err := OpenSweepCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	againE8, err := RunE8ParallelCached(20_000, 5, 1, reopened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderE8(againE8) != RenderE8(plainE8) {
+		t.Fatal("cache round-trip altered E8 rows")
+	}
+	hits, misses = reopened.Stats()
+	if hits != int64(len(plainE8)) || misses != 0 {
+		t.Fatalf("warm cache: hits=%d misses=%d", hits, misses)
+	}
+
+	// Different parameters must not collide with cached cells.
+	otherE8, err := RunE8ParallelCached(20_000, 6, 1, reopened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderE8(otherE8) == RenderE8(plainE8) {
+		t.Fatal("different seed served identical rows — key too narrow")
+	}
+}
+
+// TestSweepCacheCoversE9AndE10 asserts row-for-row equality through the
+// cache for the other two grids, including the parallel path.
+func TestSweepCacheCoversE9AndE10(t *testing.T) {
+	cache, err := OpenSweepCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultE9Config()
+	cfg.Traces = 40
+	cfg.TraceLen = 80
+
+	plainE9, err := RunE9Parallel(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := RunE9ParallelCached(cfg, workers, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if RenderE9(got) != RenderE9(plainE9) {
+			t.Fatalf("cached E9 rows differ (workers=%d)", workers)
+		}
+	}
+
+	plainE10, err := RunE10Parallel(30_000, 3, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunE10ParallelCached(30_000, 3, nil, 4, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderE10(got) != RenderE10(plainE10) {
+		t.Fatal("cached E10 rows differ")
+	}
+}
+
+// TestSweepCacheRecomputesCorruptEntries asserts a damaged cache file is
+// treated as a miss, not trusted.
+func TestSweepCacheRecomputesCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenSweepCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunE10ParallelCached(30_000, 9, []int{100}, 1, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries: %v, %v", entries, err)
+	}
+	if err := os.WriteFile(entries[0], []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunE10ParallelCached(30_000, 9, []int{100}, 1, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderE10(got) != RenderE10(want) {
+		t.Fatal("corrupt entry changed the rows")
+	}
+	// nil cache is a valid no-op.
+	if _, err := RunE10ParallelCached(30_000, 9, []int{100}, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSweepCache(""); err == nil {
+		t.Fatal("empty cache dir accepted")
+	}
+}

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"testing"
+
+	"aft/internal/checkpoint"
+	"aft/internal/xrand"
+)
+
+// steppable is the engine-agnostic campaign shape the resume tests
+// drive.
+type steppable interface {
+	Run(int64)
+	Rounds() int64
+	Remaining() int64
+	Result() AdaptiveRunResult
+	Snapshot() (*checkpoint.Snapshot, error)
+}
+
+// renderBoth renders the Fig. 6 and Fig. 7 transcripts of a result.
+func renderBoth(res AdaptiveRunResult, min int) string {
+	return RenderFig6(res) + RenderFig7(res, min)
+}
+
+// resumeAt runs a campaign to round `at`, snapshots it, round-trips the
+// snapshot through its binary encoding, restores on the engine selected
+// by restore, and runs the remainder.
+func resumeAt(t *testing.T, c steppable, at int64,
+	restore func(*checkpoint.Snapshot) (steppable, error)) AdaptiveRunResult {
+	t.Helper()
+	c.Run(at)
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := checkpoint.Decode(snap.Encode())
+	if err != nil {
+		t.Fatalf("snapshot did not survive its own encoding: %v", err)
+	}
+	resumed, err := restore(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Rounds() != at {
+		t.Fatalf("restored campaign at round %d, snapshot taken at %d", resumed.Rounds(), at)
+	}
+	resumed.Run(resumed.Remaining())
+	return resumed.Result()
+}
+
+// fusedAt builds a fused campaign or fails the test.
+func fusedAt(t *testing.T, cfg AdaptiveRunConfig) steppable {
+	t.Helper()
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// referenceAt builds a reference campaign or fails the test.
+func referenceAt(t *testing.T, cfg AdaptiveRunConfig) steppable {
+	t.Helper()
+	rc, err := NewReferenceCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rc
+}
+
+// asSteppable adapts the typed restore functions.
+func restoreFused(snap *checkpoint.Snapshot) (steppable, error) { return RestoreCampaign(snap) }
+func restoreReference(snap *checkpoint.Snapshot) (steppable, error) {
+	return RestoreReferenceCampaign(snap)
+}
+
+// TestSnapshotResumeFig7Property is the crash-resume determinism
+// property on the Fig. 7 regime: a campaign killed at an arbitrary
+// round and resumed from its snapshot renders transcripts byte-identical
+// to the uninterrupted run — on the fused engine, on the reference
+// engine, and across engines in both directions.
+func TestSnapshotResumeFig7Property(t *testing.T) {
+	cfg := DefaultFig7Config(120_000)
+	straight, err := RunAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RenderFig7(straight, cfg.Policy.Min)
+
+	// Interruption rounds are drawn deterministically, spanning early,
+	// storm-adjacent, and late cuts.
+	rng := xrand.New(20260729)
+	cuts := []int64{1, cfg.Steps / 2, cfg.Steps - 1}
+	for i := 0; i < 4; i++ {
+		cuts = append(cuts, int64(rng.Intn(int(cfg.Steps))))
+	}
+
+	engines := []struct {
+		name    string
+		build   func(*testing.T, AdaptiveRunConfig) steppable
+		restore func(*checkpoint.Snapshot) (steppable, error)
+	}{
+		{"fused->fused", fusedAt, restoreFused},
+		{"reference->reference", referenceAt, restoreReference},
+		{"fused->reference", fusedAt, restoreReference},
+		{"reference->fused", referenceAt, restoreFused},
+	}
+	for _, eng := range engines {
+		for _, at := range cuts {
+			res := resumeAt(t, eng.build(t, cfg), at, eng.restore)
+			if got := RenderFig7(res, cfg.Policy.Min); got != want {
+				t.Fatalf("%s: resume at round %d diverged:\n%s\nwant:\n%s", eng.name, at, got, want)
+			}
+			if res.Raises != straight.Raises || res.Lowers != straight.Lowers {
+				t.Fatalf("%s: controller decisions diverged after resume at %d", eng.name, at)
+			}
+		}
+	}
+}
+
+// TestSnapshotResumeFig6Series asserts resume preserves the sampled
+// Fig. 6 staircase byte for byte: the series recorded before the kill
+// ride the snapshot, the rest are appended by the resumed run.
+func TestSnapshotResumeFig6Series(t *testing.T) {
+	cfg := DefaultFig6Config()
+	straight, err := RunAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderBoth(straight, cfg.Policy.Min)
+
+	for _, at := range []int64{10, 3500, 7919, cfg.Steps - 1} {
+		res := resumeAt(t, fusedAt(t, cfg), at, restoreFused)
+		if got := renderBoth(res, cfg.Policy.Min); got != want {
+			t.Fatalf("fused resume at %d diverged on the sampled series", at)
+		}
+		res = resumeAt(t, referenceAt(t, cfg), at, restoreReference)
+		if got := renderBoth(res, cfg.Policy.Min); got != want {
+			t.Fatalf("reference resume at %d diverged on the sampled series", at)
+		}
+	}
+}
+
+// TestSnapshotResumeSourceCampaign covers the source-driven construct
+// the chaos harness uses: the source continuation is supplied by the
+// caller at restore time.
+func TestSnapshotResumeSourceCampaign(t *testing.T) {
+	cfg := AdaptiveRunConfig{Steps: 20_000, Seed: 1906, Policy: DefaultFig7Config(0).Policy}
+	src := func() CorruptionSource { return scriptedSource{} }
+
+	straight, err := NewCampaignWithSource(cfg, src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight.Run(cfg.Steps)
+	want := RenderFig7(straight.Result(), cfg.Policy.Min)
+
+	c, err := NewCampaignWithSource(cfg, src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(7_331)
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The storm-restore entry points must refuse a source snapshot.
+	if _, err := RestoreCampaign(snap); err == nil {
+		t.Fatal("RestoreCampaign accepted a source-driven snapshot")
+	}
+	resumed, err := RestoreCampaignWithSource(snap, src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Run(resumed.Remaining())
+	if got := RenderFig7(resumed.Result(), cfg.Policy.Min); got != want {
+		t.Fatalf("source-campaign resume diverged:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Cross-engine: the same snapshot continues on the reference loop.
+	ref, err := RestoreReferenceCampaignWithSource(snap, src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(ref.Remaining())
+	if got := RenderFig7(ref.Result(), cfg.Policy.Min); got != want {
+		t.Fatalf("cross-engine source resume diverged")
+	}
+}
+
+// scriptedSource is a deterministic stateless corruption source: bursts
+// every 997 rounds.
+type scriptedSource struct{}
+
+// Corruptions implements CorruptionSource.
+func (scriptedSource) Corruptions(step int64) int {
+	if step%997 < 3 {
+		return 2
+	}
+	return 0
+}
+
+// TestSnapshotRejectsCorruption flips bytes and truncates a real
+// campaign snapshot: every mutation must fail loudly at Decode or at
+// restore, never resume a silently wrong campaign.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	cfg := DefaultFig7Config(50_000)
+	c := fusedAt(t, cfg)
+	c.Run(25_000)
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := snap.Encode()
+
+	tryRestore := func(data []byte) error {
+		decoded, err := checkpoint.Decode(data)
+		if err != nil {
+			return err
+		}
+		_, err = RestoreCampaign(decoded)
+		return err
+	}
+
+	// Every byte flip must be caught by the container checksum.
+	step := len(enc)/257 + 1
+	for i := 0; i < len(enc); i += step {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0xa5
+		if tryRestore(mut) == nil {
+			t.Fatalf("byte flip at %d restored successfully", i)
+		}
+	}
+	// Every truncation must fail.
+	for n := 0; n < len(enc); n += step {
+		if tryRestore(enc[:n]) == nil {
+			t.Fatalf("truncation to %d bytes restored successfully", n)
+		}
+	}
+	// Internally inconsistent state behind a valid checksum: tamper with
+	// a decoded section and re-encode.
+	tampered, err := checkpoint.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w checkpoint.Writer
+	w.I64(24_000) // step no longer matches the occupancy total
+	w.I64(0)
+	w.I64(75_000)
+	tampered.Add("counters", w.Data())
+	if tryRestore(tampered.Encode()) == nil {
+		t.Fatal("inconsistent counters restored successfully")
+	}
+	// Wrong kind.
+	other := checkpoint.New("aft/other", 1)
+	if _, err := RestoreCampaign(other); err == nil {
+		t.Fatal("foreign snapshot kind restored successfully")
+	}
+}
+
+// TestSplitCampaignShardsChain asserts the shard chain — run shard,
+// snapshot, restore, run next — is byte-identical to the uninterrupted
+// campaign, and that SplitCampaign partitions rounds exactly.
+func TestSplitCampaignShardsChain(t *testing.T) {
+	cfg := DefaultFig7Config(90_001) // odd length: uneven shards
+	straight, err := RunAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RenderFig7(straight, cfg.Policy.Min)
+
+	shards, err := SplitCampaign(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 7 || shards[0].Start != 0 || shards[6].End != cfg.Steps {
+		t.Fatalf("bad shard bounds: %+v", shards)
+	}
+	for i := 1; i < len(shards); i++ {
+		if shards[i].Start != shards[i-1].End {
+			t.Fatalf("shard %d does not chain: %+v", i, shards)
+		}
+		if d := shards[i].Rounds() - shards[0].Rounds(); d < -1 || d > 1 {
+			t.Fatalf("shard lengths unbalanced: %+v", shards)
+		}
+	}
+
+	// Run the chain with a simulated kill+restore between every shard.
+	var res AdaptiveRunResult
+	var blob []byte
+	for i, sh := range shards {
+		var c *Campaign
+		if i == 0 {
+			if c, err = NewCampaign(cfg); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			snap, err := checkpoint.Decode(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c, err = RestoreCampaign(snap); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c.Rounds() != sh.Start {
+			t.Fatalf("shard %d starts at round %d, want %d", i, c.Rounds(), sh.Start)
+		}
+		c.Run(sh.Rounds())
+		snap, err := c.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob = snap.Encode()
+		res = c.Result()
+	}
+	if got := RenderFig7(res, cfg.Policy.Min); got != want {
+		t.Fatalf("shard chain diverged:\n%s\nwant:\n%s", got, want)
+	}
+
+	if _, err := SplitCampaign(cfg, 0); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := SplitCampaign(AdaptiveRunConfig{Steps: 3}, 4); err == nil {
+		t.Fatal("empty shards accepted")
+	}
+	if sh, err := ShardForRound(shards, shards[3].Start); err != nil || sh.Index != 3 {
+		t.Fatalf("ShardForRound = %+v, %v", sh, err)
+	}
+	if _, err := ShardForRound(shards, cfg.Steps); err == nil {
+		t.Fatal("ShardForRound accepted an out-of-range round")
+	}
+}

@@ -14,7 +14,6 @@ package experiments
 import (
 	"fmt"
 
-	"aft/internal/metrics"
 	"aft/internal/redundancy"
 	"aft/internal/voting"
 	"aft/internal/xrand"
@@ -57,13 +56,15 @@ func NewCampaignWithSource(cfg AdaptiveRunConfig, src CorruptionSource) (*Campai
 	if err != nil {
 		return nil, err
 	}
-	return &Campaign{
+	c := &Campaign{
 		cfg:  cfg,
 		sb:   sb,
 		env:  src,
 		crng: xrand.New(cfg.Seed).Split(),
 		occ:  make([]int64, cfg.Policy.Max+1),
-	}, nil
+	}
+	c.newSeries()
+	return c, nil
 }
 
 // Sign signs a resize request with the campaign's message key. It
@@ -82,35 +83,10 @@ func (c *Campaign) Sign(newN int, dir redundancy.Direction, nonce uint64) redund
 // NewCampaignWithSource run over an equivalent source; the scenario
 // test suite asserts exactly that on every committed scenario.
 func RunAdaptiveReferenceSource(cfg AdaptiveRunConfig, src CorruptionSource) (AdaptiveRunResult, error) {
-	if cfg.Steps <= 0 {
-		return AdaptiveRunResult{}, fmt.Errorf("experiments: Steps must be positive")
-	}
-	if src == nil {
-		return AdaptiveRunResult{}, fmt.Errorf("experiments: nil corruption source")
-	}
-	sb, err := newOrgan(cfg.Policy)
+	rc, err := NewReferenceCampaignWithSource(cfg, src)
 	if err != nil {
 		return AdaptiveRunResult{}, err
 	}
-	corruptRng := xrand.New(cfg.Seed).Split()
-
-	res := AdaptiveRunResult{Hist: metrics.NewIntHistogram()}
-	for step := int64(0); step < cfg.Steps; step++ {
-		k := src.Corruptions(step)
-		var corrupted func(i int) bool
-		if k > 0 {
-			kk := k
-			corrupted = func(i int) bool { return i < kk }
-		}
-		o, _ := sb.Step(uint64(step), corrupted, corruptRng)
-		res.Rounds++
-		res.ReplicaRounds += int64(o.N)
-		res.Hist.Observe(o.N)
-		if o.Failed() {
-			res.Failures++
-		}
-	}
-	res.Raises, res.Lowers = sb.Controller().Stats()
-	res.MinFraction = res.Hist.Fraction(cfg.Policy.Min)
-	return res, nil
+	rc.Run(cfg.Steps)
+	return rc.Result(), nil
 }

@@ -1,0 +1,102 @@
+// Controller and switchboard state export/import for campaign
+// checkpointing (see internal/checkpoint). The controller's quiet
+// streak and the switchboard's accepted nonce are the two pieces of
+// §3.3 state whose loss would silently change a resumed campaign: a
+// reset streak delays the next lowering by up to LowerAfter rounds, and
+// a reset nonce would re-accept replayed resize messages.
+
+package redundancy
+
+import (
+	"fmt"
+
+	"aft/internal/voting"
+)
+
+// ControllerState is the serializable state of a Controller.
+type ControllerState struct {
+	// N is the controller's current target replica count.
+	N int
+	// Quiet is the current consecutive-full-consensus streak.
+	Quiet int
+	// Raises and Lowers are the cumulative decision counters.
+	Raises, Lowers int64
+}
+
+// ExportState captures the controller's state for a checkpoint.
+func (c *Controller) ExportState() ControllerState {
+	return ControllerState{N: c.n, Quiet: c.quiet, Raises: c.raises, Lowers: c.lowers}
+}
+
+// RestoreState rewinds the controller to a previously exported state,
+// validating it against the controller's policy so corrupt snapshots
+// cannot park the organ outside the band.
+func (c *Controller) RestoreState(st ControllerState) error {
+	if st.N < c.policy.Min || st.N > c.policy.Max || st.N%2 == 0 {
+		return fmt.Errorf("redundancy: restored N %d outside policy band [%d,%d] or even",
+			st.N, c.policy.Min, c.policy.Max)
+	}
+	if st.Quiet < 0 || st.Quiet >= c.policy.LowerAfter {
+		return fmt.Errorf("redundancy: restored quiet streak %d outside [0,%d)",
+			st.Quiet, c.policy.LowerAfter)
+	}
+	if st.Raises < 0 || st.Lowers < 0 {
+		return fmt.Errorf("redundancy: negative restored decision counters")
+	}
+	c.n = st.N
+	c.quiet = st.Quiet
+	c.raises = st.Raises
+	c.lowers = st.Lowers
+	return nil
+}
+
+// SwitchboardState is the serializable state of a Switchboard and the
+// farm and controller it couples. The signing key is not part of the
+// state: it is supplied by the campaign that reconstructs the
+// switchboard, so a snapshot file never contains key material.
+type SwitchboardState struct {
+	// Controller is the dtof policy controller's state.
+	Controller ControllerState
+	// Farm is the voting organ's state.
+	Farm voting.FarmState
+	// LastNonce is the highest resize nonce accepted so far — the
+	// replay-protection watermark.
+	LastNonce uint64
+	// Resizes and Rejected are the cumulative message counters.
+	Resizes, Rejected int64
+}
+
+// ExportState captures the switchboard, its controller, and its farm.
+func (s *Switchboard) ExportState() SwitchboardState {
+	return SwitchboardState{
+		Controller: s.ctrl.ExportState(),
+		Farm:       s.farm.ExportState(),
+		LastNonce:  s.lastNonce,
+		Resizes:    s.resizes,
+		Rejected:   s.rejected,
+	}
+}
+
+// RestoreState rewinds the switchboard, controller, and farm to a
+// previously exported state. The farm's dimensioning and the
+// controller's target must agree — a snapshot in which they differ is
+// corrupt, because Apply and Observe keep them in lock step.
+func (s *Switchboard) RestoreState(st SwitchboardState) error {
+	if st.Resizes < 0 || st.Rejected < 0 {
+		return fmt.Errorf("redundancy: negative restored message counters")
+	}
+	if st.Farm.Replicas != st.Controller.N {
+		return fmt.Errorf("redundancy: restored farm size %d disagrees with controller target %d",
+			st.Farm.Replicas, st.Controller.N)
+	}
+	if err := s.ctrl.RestoreState(st.Controller); err != nil {
+		return err
+	}
+	if err := s.farm.RestoreState(st.Farm); err != nil {
+		return err
+	}
+	s.lastNonce = st.LastNonce
+	s.resizes = st.Resizes
+	s.rejected = st.Rejected
+	return nil
+}

@@ -150,6 +150,22 @@ type runner struct {
 // violations. Two runs with the same spec and seed produce
 // byte-identical transcripts.
 func Run(spec Spec, opt Options) (*Result, error) {
+	r, err := newRunner(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	r.schedule()
+	// The watchdog check chains reschedule themselves indefinitely, so
+	// the run is bounded by the horizon, not by queue exhaustion.
+	r.sched.Run(simclock.Time(spec.Horizon))
+	return r.result(), nil
+}
+
+// newRunner builds every subsystem of a run — program, organ campaign,
+// executor, watchdogs, invariants — without scheduling anything, so the
+// same construction serves fresh runs (schedule) and checkpoint resumes
+// (scheduleResume, which first overwrites the subsystems' states).
+func newRunner(spec Spec, opt Options) (*runner, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -201,28 +217,39 @@ func Run(spec Spec, opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		wd.Start(r.sched)
 		r.dogs = append(r.dogs, wd)
 	}
 	r.inv = newInvariants(r)
+	return r, nil
+}
 
+// schedule arms a fresh run at time zero: watchdog chains first, then
+// the teardown event, then the tick chain. The push order fixes the
+// execution order of same-time events (the scheduler orders by
+// (time, sequence)), and scheduleResume reproduces exactly this order
+// when it rebuilds the queue mid-flight.
+func (r *runner) schedule() {
+	for _, wd := range r.dogs {
+		wd.Start(r.sched)
+	}
 	// The teardown event is scheduled before the tick chain starts, so
 	// at the teardown step it runs first (same-time events execute in
 	// schedule order — the property the simclock re-entrancy test
 	// guards) and no voting round executes at or after it.
-	if spec.TeardownAt > 0 {
-		r.sched.At(simclock.Time(spec.TeardownAt), func(s *simclock.Scheduler) {
-			r.torn = true
-			r.inv.freezeRounds()
-			r.rec.Record(int64(s.Now()), "teardown", "organ", "voting farm decommissioned")
-		})
-	}
+	r.scheduleTeardown()
 	r.sched.At(0, r.tick)
-	// The watchdog check chains reschedule themselves indefinitely, so
-	// the run is bounded by the horizon, not by queue exhaustion.
-	r.sched.Run(simclock.Time(spec.Horizon))
+}
 
-	return r.result(), nil
+// scheduleTeardown arms the teardown event, if the spec has one.
+func (r *runner) scheduleTeardown() {
+	if r.spec.TeardownAt <= 0 {
+		return
+	}
+	r.sched.At(simclock.Time(r.spec.TeardownAt), func(s *simclock.Scheduler) {
+		r.torn = true
+		r.inv.freezeRounds()
+		r.rec.Record(int64(s.Now()), "teardown", "organ", "voting farm decommissioned")
+	})
 }
 
 // buildExecutor wires the §3.2 target: a primary that dies with the

@@ -73,6 +73,19 @@ func (r *Recorder) Record(now int64, kind, subject, format string, args ...any) 
 	}
 }
 
+// Restore replaces the recorder's contents with a copy of events, in
+// order. Checkpoint resume uses it to seed a fresh recorder with the
+// transcript prefix recorded before the interruption, so the resumed
+// run's Transcript is the seamless whole.
+func (r *Recorder) Restore(events []Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events[:0], events...)
+}
+
 // Events returns a copy of the recorded events.
 func (r *Recorder) Events() []Event {
 	if r == nil {

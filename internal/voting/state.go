@@ -1,0 +1,41 @@
+// Farm state export/import for campaign checkpointing (see
+// internal/checkpoint): a snapshot of a running Fig. 7 campaign must
+// carry the organ's dimensioning and cumulative counters so a resumed
+// run renders transcripts byte-identical to an uninterrupted one.
+
+package voting
+
+import "fmt"
+
+// FarmState is the serializable state of a Farm: its dimensioning and
+// cumulative counters. The replicated method and the reusable ballot
+// buffer are not state — the method is supplied at construction and the
+// buffer's contents are only valid within a round.
+type FarmState struct {
+	// Replicas is the current organ size.
+	Replicas int
+	// Rounds and Failures are the cumulative counters Stats reports.
+	Rounds, Failures int64
+}
+
+// ExportState captures the farm's state for a checkpoint.
+func (f *Farm) ExportState() FarmState {
+	return FarmState{Replicas: f.n, Rounds: f.rounds, Failures: f.failures}
+}
+
+// RestoreState rewinds the farm to a previously exported state. The
+// replica count goes through SetReplicas, so an invalid (even,
+// non-positive) dimensioning from a corrupt snapshot is rejected rather
+// than adopted.
+func (f *Farm) RestoreState(st FarmState) error {
+	if st.Rounds < 0 || st.Failures < 0 || st.Failures > st.Rounds {
+		return fmt.Errorf("voting: invalid farm counters: %d failures over %d rounds",
+			st.Failures, st.Rounds)
+	}
+	if err := f.SetReplicas(st.Replicas); err != nil {
+		return err
+	}
+	f.rounds = st.Rounds
+	f.failures = st.Failures
+	return nil
+}

@@ -1,0 +1,99 @@
+package xrand
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestStateRoundTrip asserts a generator restored from a captured state
+// continues the exact stream the original produces.
+func TestStateRoundTrip(t *testing.T) {
+	r := New(1906)
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+	st := r.State()
+	clone, err := Restore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if a, b := r.Uint64(), clone.Uint64(); a != b {
+			t.Fatalf("streams diverge at draw %d: %d vs %d", i, a, b)
+		}
+	}
+}
+
+// TestStateCapturesMidStream asserts State is a pure read: capturing it
+// does not perturb the stream.
+func TestStateCapturesMidStream(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 50; i++ {
+		a.Uint64()
+		b.Uint64()
+		_ = a.State()
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("State() perturbed the stream")
+	}
+}
+
+// TestSetStateRejectsZero asserts the all-zero fixed point is rejected
+// everywhere it could enter.
+func TestSetStateRejectsZero(t *testing.T) {
+	var zero [4]uint64
+	if err := New(1).SetState(zero); !errors.Is(err, ErrInvalidState) {
+		t.Fatalf("SetState(zero) = %v", err)
+	}
+	if _, err := Restore(zero); !errors.Is(err, ErrInvalidState) {
+		t.Fatalf("Restore(zero) = %v", err)
+	}
+	if err := New(1).UnmarshalBinary(make([]byte, 32)); !errors.Is(err, ErrInvalidState) {
+		t.Fatalf("UnmarshalBinary(zero) = %v", err)
+	}
+}
+
+// TestBinaryRoundTrip asserts MarshalBinary/UnmarshalBinary preserves
+// the stream, and that wrong-length inputs are rejected.
+func TestBinaryRoundTrip(t *testing.T) {
+	r := New(42)
+	r.Uint64()
+	data, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 32 {
+		t.Fatalf("marshal length %d", len(data))
+	}
+	var clone Rand
+	if err := clone.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != clone.Uint64() {
+			t.Fatalf("binary round-trip diverges at draw %d", i)
+		}
+	}
+	for _, n := range []int{0, 31, 33} {
+		if err := clone.UnmarshalBinary(make([]byte, n)); err == nil {
+			t.Fatalf("UnmarshalBinary accepted %d bytes", n)
+		}
+	}
+}
+
+// TestSplitAfterRestore asserts derived streams (Split) also match after
+// a restore — the property campaign resume relies on.
+func TestSplitAfterRestore(t *testing.T) {
+	r := New(99)
+	r.Uint64()
+	clone, err := Restore(r.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := r.Split(), clone.Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split streams diverge at draw %d", i)
+		}
+	}
+}

@@ -11,6 +11,9 @@
 package xrand
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
 	"math"
 	"math/bits"
 )
@@ -62,6 +65,63 @@ func (r *Rand) Uint64() uint64 {
 // child is derived from r's output, so splitting is itself deterministic.
 func (r *Rand) Split() *Rand {
 	return New(r.Uint64())
+}
+
+// ErrInvalidState reports a generator state no xoshiro256** instance can
+// occupy: the all-zero state is a fixed point of the transition function
+// (the stream would be constant zero), and New's SplitMix64 expansion
+// can never produce it. Restoring such a state is always a decoding bug
+// or corruption, never a legitimate resume.
+var ErrInvalidState = errors.New("xrand: all-zero generator state")
+
+// State returns the generator's complete internal state. Together with
+// SetState it makes the PRNG stream checkpointable: a generator restored
+// from a captured state continues the exact output sequence the original
+// would have produced, which is what lets an interrupted campaign resume
+// byte-identically (see internal/checkpoint).
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState replaces the generator's internal state with one previously
+// obtained from State. It rejects the all-zero state with
+// ErrInvalidState.
+func (r *Rand) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return ErrInvalidState
+	}
+	r.s = s
+	return nil
+}
+
+// Restore builds a generator positioned at a previously captured state.
+func Restore(s [4]uint64) (*Rand, error) {
+	r := &Rand{}
+	if err := r.SetState(s); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: 32 bytes of
+// little-endian state words.
+func (r *Rand) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 32)
+	for _, w := range r.s {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, accepting only
+// the exact 32-byte encoding MarshalBinary produces.
+func (r *Rand) UnmarshalBinary(data []byte) error {
+	if len(data) != 32 {
+		return fmt.Errorf("xrand: state must be 32 bytes, got %d", len(data))
+	}
+	var s [4]uint64
+	for i := range s {
+		s[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	return r.SetState(s)
 }
 
 // Seeds derives n independent seeds from root through SplitMix64. The

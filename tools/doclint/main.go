@@ -1,0 +1,196 @@
+// Command doclint is the repository's documentation gate, run by CI.
+//
+// It enforces two rules over the module's non-test Go files:
+//
+//  1. every package — including main packages under cmd/ and examples/
+//     — has a package doc comment on its package clause;
+//  2. in library packages (the root package and everything under
+//     internal/), every exported top-level identifier — funcs, methods,
+//     types, consts, vars — has a doc comment. A documented const/var
+//     block covers its members.
+//
+// Violations are printed one per line as file:line: message, and the
+// command exits non-zero if any exist, so CI fails when documentation
+// debt is reintroduced.
+//
+// Usage:
+//
+//	go run ./tools/doclint [dir]
+//
+// dir defaults to the current directory (the module root in CI).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	problems, err := lint(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lint walks the module tree and returns the sorted list of violations.
+func lint(root string) ([]string, error) {
+	packages := map[string][]string{} // dir -> non-test .go files
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		packages[dir] = append(packages[dir], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	for dir, files := range packages {
+		sort.Strings(files)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			rel = dir
+		}
+		problems = append(problems, lintPackage(rel, files)...)
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// strictExports reports whether a package directory must document every
+// exported identifier (library packages), as opposed to only needing a
+// package comment (binaries and examples).
+func strictExports(rel string) bool {
+	return rel == "." || rel == "internal" || strings.HasPrefix(rel, "internal"+string(filepath.Separator))
+}
+
+// lintPackage checks one package's files.
+func lintPackage(rel string, files []string) []string {
+	fset := token.NewFileSet()
+	var problems []string
+	hasPackageDoc := false
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: parse error: %v", file, err))
+			continue
+		}
+		if f.Doc != nil {
+			hasPackageDoc = true
+		}
+		if strictExports(rel) {
+			problems = append(problems, lintExports(fset, f)...)
+		}
+	}
+	if !hasPackageDoc && len(files) > 0 {
+		problems = append(problems, fmt.Sprintf("%s: package %s has no package doc comment", files[0], rel))
+	}
+	return problems
+}
+
+// receiverExported reports whether a method receiver names an exported
+// type.
+func receiverExported(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// lintExports checks that every exported top-level declaration of a
+// file carries a doc comment.
+func lintExports(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	report := func(pos token.Pos, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			kind := "function"
+			if d.Recv != nil {
+				// A method on an unexported receiver type is not part
+				// of the package's API, exported name or not (e.g. the
+				// heap.Interface plumbing of an internal queue).
+				if !receiverExported(d.Recv) {
+					continue
+				}
+				kind = "method"
+			}
+			report(d.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				// A documented block covers its members (the grouped
+				// const/var idiom).
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(s.Pos(), "exported %s has no doc comment", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates a file under dir, making parents.
+func write(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLintFindsDebt builds a miniature module with every violation
+// class and asserts each is reported exactly where expected.
+func TestLintFindsDebt(t *testing.T) {
+	dir := t.TempDir()
+	// Clean library package.
+	write(t, dir, "internal/good/good.go", `// Package good is documented.
+package good
+
+// Exported is documented.
+func Exported() {}
+
+// Grouped consts are covered by the block comment.
+const (
+	A = 1
+	B = 2
+)
+
+type hidden struct{}
+
+func (hidden) Len() int { return 0 } // unexported receiver: exempt
+`)
+	// Library package with undocumented exports.
+	write(t, dir, "internal/bad/bad.go", `// Package bad has gaps.
+package bad
+
+func Undocumented() {}
+
+type Exposed struct{}
+
+var Loose = 3
+`)
+	// Binary missing its package comment entirely.
+	write(t, dir, "cmd/tool/main.go", "package main\n\nfunc main() {}\n")
+	// Binaries don't need export docs, only the package comment.
+	write(t, dir, "cmd/ok/main.go", `// Command ok is documented.
+package main
+
+func Helper() {}
+
+func main() {}
+`)
+	// Test files are ignored.
+	write(t, dir, "internal/good/good_test.go", "package good\n\nfunc TestNothing() {}\n")
+	// testdata is skipped wholesale.
+	write(t, dir, "internal/good/testdata/frag.go", "package broken ???\n")
+
+	problems, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{
+		"exported function Undocumented has no doc comment",
+		"exported type Exposed has no doc comment",
+		"exported Loose has no doc comment",
+		"has no package doc comment",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+	if len(problems) != 4 {
+		t.Errorf("got %d problems, want 4:\n%s", len(problems), joined)
+	}
+	for _, banned := range []string{"good.go", "cmd/ok", "Helper", "Len"} {
+		if strings.Contains(joined, banned) {
+			t.Errorf("false positive mentioning %q:\n%s", banned, joined)
+		}
+	}
+}
+
+// TestLintRepositoryIsClean runs the gate over the actual repository —
+// the same invocation CI uses — so documentation debt fails tests
+// before it fails CI.
+func TestLintRepositoryIsClean(t *testing.T) {
+	problems, err := lint("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("repository has documentation debt:\n%s", strings.Join(problems, "\n"))
+	}
+}
