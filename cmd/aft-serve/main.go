@@ -1,0 +1,114 @@
+// Command aft-serve is the durable experiment job server: a long-running
+// HTTP/JSON daemon (internal/jobs) that accepts Fig. 6/7 campaigns,
+// E8/E9/E10 sweep grids, and chaos scenarios, executes them on a bounded
+// worker pool, and survives being killed at any instant — running
+// campaigns checkpoint every -checkpoint-every rounds through
+// internal/checkpoint, so a restarted server resumes them from the last
+// snapshot and renders final transcripts byte-identical to an
+// uninterrupted run.
+//
+// Endpoints (see API.md for schemas and a crash-recovery walkthrough):
+//
+//	POST /jobs               submit a job (content-addressed; duplicates dedup)
+//	GET  /jobs               list all jobs
+//	GET  /jobs/{id}          job status and progress
+//	GET  /jobs/{id}/result   terminal result (transcript + summary)
+//	POST /jobs/{id}/cancel   cancel (running campaigns checkpoint first)
+//	GET  /jobs/{id}/events   progress as Server-Sent Events
+//	GET  /metricz            text metrics exposition
+//	GET  /healthz            liveness and job-state counts
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: every running
+// campaign writes a final checkpoint and parks, and the next aft-serve
+// on the same -store directory resumes it. Deployment guidance (ports,
+// store layout, worker sizing, crash-recovery semantics) lives in
+// OPERATIONS.md.
+//
+// Usage:
+//
+//	aft-serve [-addr HOST:PORT] [-store DIR] [-workers N]
+//	          [-checkpoint-every ROUNDS]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aft/internal/cli"
+	"aft/internal/jobs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable entry point. It blocks until the listener fails
+// or a termination signal arrives, then shuts down gracefully
+// (checkpointing every running campaign) before returning.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("aft-serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8606", "listen address (use port 0 for an ephemeral port)")
+	store := fs.String("store", "aft-store", "job-store directory (created if absent)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = one per CPU)")
+	ckptEvery := fs.Int64("checkpoint-every", 0, "campaign snapshot cadence in rounds (0 = 100000)")
+	if done, err := cli.Parse(fs, args, stdout); done {
+		return err
+	}
+
+	srv, err := jobs.NewServer(jobs.Options{
+		Dir:             *store,
+		Workers:         *workers,
+		CheckpointEvery: *ckptEvery,
+	})
+	if err != nil {
+		return err
+	}
+	for _, note := range srv.RecoveryNotes() {
+		fmt.Fprintf(stdout, "aft-serve: recovery: %s\n", note)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	// The resolved address line is load-bearing: with port 0 it is how
+	// scripts (and the crash-recovery integration test) learn the port.
+	fmt.Fprintf(stdout, "aft-serve listening on %s (store %s)\n", ln.Addr(), *store)
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case s := <-sig:
+		fmt.Fprintf(stdout, "aft-serve: %v: checkpointing running jobs and shutting down\n", s)
+		// Close the job server first: it refuses new submissions (503),
+		// ends SSE streams, and parks running campaigns at a durable
+		// checkpoint — so the HTTP drain below has nothing left to
+		// pin it to its timeout.
+		err := srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		return err
+	}
+}

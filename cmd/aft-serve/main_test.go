@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"aft/internal/experiments"
+	"aft/internal/jobs"
+)
+
+func TestRunUsage(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, flag := range []string{"-addr", "-store", "-workers", "-checkpoint-every"} {
+		if !strings.Contains(out.String(), flag) {
+			t.Errorf("usage lacks %s", flag)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunBadStore(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-store", ""}, &out); err == nil {
+		t.Fatal("empty store accepted")
+	}
+}
+
+// TestHelperProcessServe is not a test: it is aft-serve's main loop,
+// re-invoked as a child process by the crash-recovery test so the
+// parent can SIGKILL a real server mid-campaign.
+func TestHelperProcessServe(t *testing.T) {
+	if os.Getenv("AFT_SERVE_HELPER") != "1" {
+		t.Skip("helper process entry point")
+	}
+	if err := run(strings.Split(os.Getenv("AFT_SERVE_ARGS"), "\n"), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// server is one child aft-serve process.
+type server struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+	out  *bytes.Buffer
+}
+
+// startServer launches the helper process and parses the resolved
+// listen address from its banner line.
+func startServer(t *testing.T, args ...string) *server {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperProcessServe$")
+	cmd.Env = append(os.Environ(),
+		"AFT_SERVE_HELPER=1",
+		"AFT_SERVE_ARGS="+strings.Join(args, "\n"),
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{cmd: cmd, out: &bytes.Buffer{}}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+
+	// Scan for the banner; keep draining stdout afterwards so the child
+	// never blocks on a full pipe.
+	banner := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			srv.out.WriteString(line + "\n")
+			if strings.HasPrefix(line, "aft-serve listening on ") {
+				select {
+				case banner <- strings.Fields(strings.TrimPrefix(line, "aft-serve listening on "))[0]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-banner:
+		srv.base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server never announced its address; output so far:\n%s", srv.out)
+	}
+	return srv
+}
+
+// get fetches a URL and decodes the JSON body into v.
+func get(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(body, v); err != nil {
+			t.Fatalf("GET %s: decode %q: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestCrashRecoverySIGKILL is the end-to-end durability proof: a real
+// aft-serve child is SIGKILLed mid-campaign, a second child on the same
+// store resumes from the last checkpoint, and the final transcript is
+// byte-identical to an uninterrupted in-process run.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	store := t.TempDir()
+	cfg := experiments.DefaultFig7Config(8_000_000)
+	cfg.SampleEvery = 100_000 // Fig. 6 series must survive the kill too
+	res, err := experiments.RunAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := experiments.RenderFig6(res) + experiments.RenderFig7(res, cfg.Policy.Min)
+
+	srv := startServer(t, "-addr", "127.0.0.1:0", "-store", store, "-workers", "2", "-checkpoint-every", "250000")
+
+	spec, err := json.Marshal(jobs.Spec{Kind: jobs.KindCampaign, Campaign: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.base+"/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub jobs.SubmitReply
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, sub)
+	}
+
+	// Wait for the first durable checkpoint, then kill -9.
+	deadline := time.Now().Add(2 * time.Minute)
+	killed := false
+	for time.Now().Before(deadline) {
+		var st jobs.Status
+		get(t, srv.base+"/jobs/"+sub.ID, &st)
+		if st.State.Terminal() {
+			t.Fatalf("campaign finished before the kill (state %s); raise Steps", st.State)
+		}
+		if st.CheckpointRounds > 0 {
+			if err := srv.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatal(err)
+			}
+			_ = srv.cmd.Wait()
+			killed = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !killed {
+		t.Fatal("no checkpoint observed before the deadline")
+	}
+
+	// Restart on the same store: the index must survive and the job must
+	// resume from its checkpoint and finish.
+	srv2 := startServer(t, "-addr", "127.0.0.1:0", "-store", store, "-workers", "2", "-checkpoint-every", "250000")
+	var list jobs.ListReply
+	get(t, srv2.base+"/jobs", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != sub.ID {
+		t.Fatalf("job index did not survive the kill: %+v", list.Jobs)
+	}
+
+	var final jobs.Status
+	for time.Now().Before(deadline) {
+		get(t, srv2.base+"/jobs/"+sub.ID, &final)
+		if final.State.Terminal() {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("resumed job state %s (%s)", final.State, final.Error)
+	}
+
+	var result jobs.Result
+	if code := get(t, srv2.base+"/jobs/"+sub.ID+"/result", &result); code != http.StatusOK {
+		t.Fatalf("result fetch: %d", code)
+	}
+	if result.Transcript != expected {
+		t.Fatalf("transcript after SIGKILL+resume differs from uninterrupted run:\n--- got\n%s\n--- want\n%s",
+			result.Transcript, expected)
+	}
+
+	// The restarted server's metrics must show the resume.
+	mresp, err := http.Get(srv2.base + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricz, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(metricz), "aft_jobs_resumed_total 1") {
+		t.Fatalf("metricz does not show the resume:\n%s", metricz)
+	}
+
+	// Graceful shutdown path: SIGTERM must exit cleanly.
+	if err := srv2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown exit: %v\noutput:\n%s", err, srv2.out)
+	}
+}

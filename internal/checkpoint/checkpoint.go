@@ -192,25 +192,36 @@ func Decode(data []byte) (*Snapshot, error) {
 	return snap, nil
 }
 
-// WriteFile atomically writes the encoded snapshot: the bytes land in a
-// temporary file in the destination directory first and are renamed into
-// place, so a crash mid-write can never leave a half-written snapshot
-// where a resume would look for a whole one.
+// WriteFile atomically writes the encoded snapshot; see
+// WriteFileAtomic for the durability discipline.
 func (s *Snapshot) WriteFile(path string) error {
+	return WriteFileAtomic(path, s.Encode())
+}
+
+// WriteFileAtomic durably replaces path with data: parent directories
+// are created as needed, the bytes land in a same-directory temporary
+// file, are fsynced, and are renamed into place, so a crash mid-write
+// can never leave a half-written file where a reader will look for a
+// whole one. It is the one crash-safe write primitive shared by the
+// snapshot container, the sweep-cell memo cache, and the job store.
+func WriteFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(s.Encode()); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
 	}
 	// Flush to stable storage before the rename: without it a system
 	// crash can make the rename durable before the data blocks, leaving
-	// the checkpoint path pointing at a truncated file — destroying the
-	// previous good checkpoint, the one loss this layer must prevent.
+	// the path pointing at a truncated file — destroying the previous
+	// good copy, the one loss this layer must prevent.
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err

@@ -30,6 +30,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+
+	"aft/internal/checkpoint"
 )
 
 // memoCacheVersion keys the cache schema: bump on any change to cell
@@ -111,19 +113,7 @@ func memoCell[T any](c *SweepCache, kind string, params any, compute func() (T, 
 	if err != nil {
 		return zero, err
 	}
-	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
-	if err != nil {
-		return zero, err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return zero, err
-	}
-	if err := tmp.Close(); err != nil {
-		return zero, err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := checkpoint.WriteFileAtomic(path, data); err != nil {
 		return zero, err
 	}
 	return v, nil

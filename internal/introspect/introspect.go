@@ -13,7 +13,8 @@
 //   - comparisons against large magic numbers — dimensioning and range
 //     assumptions frozen as literals;
 //   - assumption-bearing comments ("assumes", "must be", "should never",
-//     TODO/XXX/FIXME) — intelligence about to be hidden;
+//     TODO/XXX/FIXME) — intelligence about the design that is about to
+//     be hidden in prose instead of being declared in code;
 //   - single-form type assertions — "the dynamic type will be T", an
 //     assumption that panics instead of clashing gracefully;
 //   - environment lookups (os.Getenv) — deploy-time assumptions read at

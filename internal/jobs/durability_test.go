@@ -1,0 +1,166 @@
+// Durability tests: the PR 4 kill-at-any-round property extended to the
+// server path. A campaign killed after any checkpoint and resumed by a
+// fresh server on the same store must render a final transcript
+// byte-identical to an uninterrupted run.
+
+package jobs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestKillAfterAnyCheckpointResumesByteIdentical simulates kill -9 at
+// several checkpoint boundaries using the in-process crash hook: the
+// worker abandons the job right after a checkpoint lands (no result, no
+// cleanup), and a second server on the same store must finish the
+// campaign with the exact uninterrupted transcript.
+func TestKillAfterAnyCheckpointResumesByteIdentical(t *testing.T) {
+	cfg := testCampaign(60_000, 500) // Fig. 6 sampling on, so series must survive too
+	expected := uninterrupted(t, cfg)
+	spec := Spec{Kind: KindCampaign, Campaign: &cfg}
+
+	// 60 000 rounds at a 9 000-round cadence: checkpoints land at 9k,
+	// 18k, ..., 54k. Halting after the 1st, 3rd, and 6th covers the
+	// early, middle, and last checkpoint.
+	for _, halt := range []int64{1, 3, 6} {
+		dir := t.TempDir()
+		s1, err := NewServer(Options{Dir: dir, Workers: 1, CheckpointEvery: 9_000, testHaltAfter: halt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, _, err := s1.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-s1.halted:
+		case <-time.After(time.Minute):
+			t.Fatalf("halt %d: crash hook never fired", halt)
+		}
+		s1.Close()
+
+		s2 := newTestServer(t, Options{Dir: dir, Workers: 1, CheckpointEvery: 9_000})
+		if _, ok := s2.StatusOf(st.ID); !ok {
+			t.Fatalf("halt %d: job lost across restart", halt)
+		}
+		res, err := s2.Wait(waitCtx(t), st.ID)
+		if err != nil {
+			t.Fatalf("halt %d: wait: %v", halt, err)
+		}
+		if res.State != StateDone {
+			t.Fatalf("halt %d: state %s (%s)", halt, res.State, res.Error)
+		}
+		if res.Transcript != expected {
+			t.Fatalf("halt %d: resumed transcript differs from uninterrupted run:\n--- got\n%s\n--- want\n%s",
+				halt, res.Transcript, expected)
+		}
+		if s2.resumedJobs.Value() != 1 {
+			t.Fatalf("halt %d: resumed %d jobs, want 1", halt, s2.resumedJobs.Value())
+		}
+	}
+}
+
+// TestGracefulCloseParksAndResumes asserts the shutdown path: Close
+// checkpoints the running campaign, leaves no result on disk, and the
+// next server finishes it byte-identically.
+func TestGracefulCloseParksAndResumes(t *testing.T) {
+	cfg := testCampaign(400_000, 0)
+	expected := uninterrupted(t, cfg)
+	dir := t.TempDir()
+
+	s1, err := NewServer(Options{Dir: dir, Workers: 1, CheckpointEvery: 4_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := s1.Submit(Spec{Kind: KindCampaign, Campaign: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it make some progress, then shut down mid-flight.
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		if got, _ := s1.StatusOf(st.ID); got.Rounds > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s1.Close()
+
+	parked, _ := s1.StatusOf(st.ID)
+	if parked.State.Terminal() {
+		t.Skipf("campaign finished before shutdown (state %s); nothing to park", parked.State)
+	}
+	if parked.State != StateCheckpointed {
+		t.Fatalf("after Close: state %s, want checkpointed", parked.State)
+	}
+	if res, err := s1.store.readResult(st.ID); err != nil || res != nil {
+		t.Fatalf("parked job has a result on disk: %v %v", res, err)
+	}
+	if snap := s1.store.readCheckpoint(st.ID); snap == nil {
+		t.Fatal("parked job has no checkpoint on disk")
+	}
+
+	s2 := newTestServer(t, Options{Dir: dir, Workers: 1, CheckpointEvery: 4_000})
+	res, err := s2.Wait(waitCtx(t), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != StateDone || res.Transcript != expected {
+		t.Fatalf("resumed after graceful close: state %s, transcript match %v",
+			res.State, res.Transcript == expected)
+	}
+}
+
+// TestMetricsScrapeDuringCampaign hammers the read-only endpoints from
+// several goroutines while a campaign runs, under -race in CI: the
+// /metricz exposition and status snapshots must be safe against the
+// worker's writes.
+func TestMetricsScrapeDuringCampaign(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2, CheckpointEvery: 2_000})
+	cfg := testCampaign(200_000, 0)
+	st, _, err := s.Submit(Spec{Kind: KindCampaign, Campaign: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/metricz", "/healthz", "/jobs", "/jobs/" + st.ID} {
+					req := httptest.NewRequest("GET", path, nil)
+					s.ServeHTTP(httptest.NewRecorder(), req)
+				}
+			}
+		}()
+	}
+
+	res, err := s.Wait(waitCtx(t), st.ID)
+	close(stop)
+	wg.Wait()
+	if err != nil || res.State != StateDone {
+		t.Fatalf("campaign under scrape load: %+v err %v", res, err)
+	}
+	metricz := do(t, s, "GET", "/metricz", "").Body.String()
+	for _, want := range []string{
+		"aft_jobs_done_total 1",
+		"aft_rounds_executed_total 200000",
+		"aft_checkpoints_written_total",
+	} {
+		if !strings.Contains(metricz, want) {
+			t.Fatalf("metricz missing %q:\n%s", want, metricz)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package jobs_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"aft/internal/experiments"
+	"aft/internal/jobs"
+)
+
+// ExampleServer submits a short Fig. 7-style campaign to an embedded
+// job server and waits for its terminal result — the programmatic
+// equivalent of `curl -d @spec.json :8606/jobs` followed by polling
+// GET /jobs/{id}.
+func ExampleServer() {
+	dir, err := os.MkdirTemp("", "aft-serve-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := jobs.NewServer(jobs.Options{Dir: dir, Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	cfg := experiments.DefaultFig7Config(20_000)
+	status, deduped, err := srv.Submit(jobs.Spec{Kind: jobs.KindCampaign, Campaign: &cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := srv.Wait(context.Background(), status.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(deduped, result.State, result.Rounds)
+	// Output: false done 20000
+}
+
+// ExampleServer_dedup shows content-addressed deduplication: submitting
+// an identical spec twice yields one job, and the second submission
+// returns the existing job's status immediately.
+func ExampleServer_dedup() {
+	dir, err := os.MkdirTemp("", "aft-serve-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := jobs.NewServer(jobs.Options{Dir: dir, Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	cfg := experiments.DefaultFig7Config(20_000)
+	spec := jobs.Spec{Kind: jobs.KindCampaign, Campaign: &cfg}
+	first, _, err := srv.Submit(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := srv.Wait(context.Background(), first.ID); err != nil {
+		log.Fatal(err)
+	}
+	again, deduped, err := srv.Submit(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(deduped, again.ID == first.ID, again.State)
+	// Output: true true done
+}

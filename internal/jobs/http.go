@@ -1,0 +1,222 @@
+// The HTTP/JSON surface of the job server. Endpoint-by-endpoint request
+// and response schemas, error codes, and a full crash-recovery curl
+// walkthrough are documented in API.md; this file keeps the handlers
+// thin wrappers over the Server methods so every behaviour is reachable
+// (and tested) without a network socket.
+
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// maxBody bounds a submission body; campaign and scenario specs are a
+// few hundred bytes, so 1 MiB is generous.
+const maxBody = 1 << 20
+
+// errorReply is the body of every non-2xx response.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// SubmitReply is the body of POST /jobs responses: the job's status
+// plus whether the submission deduplicated onto an existing job.
+type SubmitReply struct {
+	Status
+	// Deduped reports that an identical spec was already submitted and
+	// this reply describes the existing job.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// ListReply is the body of GET /jobs.
+type ListReply struct {
+	Jobs []Status `json:"jobs"`
+}
+
+// HealthReply is the body of GET /healthz.
+type HealthReply struct {
+	OK      bool          `json:"ok"`
+	Workers int           `json:"workers"`
+	Jobs    map[State]int `json:"jobs"`
+}
+
+// sseInterval is the progress-event cadence of GET /jobs/{id}/events.
+// A variable so tests stream fast.
+var sseInterval = 500 * time.Millisecond
+
+// initHTTP builds the request mux (Go 1.22+ method/wildcard patterns).
+func (s *Server) initHTTP() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	// Validate here so the client's mistakes are 400s, and whatever
+	// Submit reports beyond validation (a disk failure persisting the
+	// spec) is the server's fault: 500, or 503 during shutdown — both
+	// retryable, unlike a malformed spec.
+	if err := spec.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+		return
+	}
+	st, deduped, err := s.Submit(spec)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrShuttingDown) {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, errorReply{Error: err.Error()})
+		return
+	}
+	code := http.StatusAccepted
+	if deduped {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, SubmitReply{Status: st, Deduped: deduped})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ListReply{Jobs: s.List()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.StatusOf(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorReply{Error: fmt.Sprintf("unknown job %s", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, ok := s.ResultOf(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorReply{Error: fmt.Sprintf("unknown job %s", id)})
+		return
+	}
+	if res == nil {
+		writeJSON(w, http.StatusConflict, errorReply{Error: fmt.Sprintf("job %s has no result yet", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.Cancel(id)
+	if err != nil {
+		var conflict ErrConflict
+		if errors.As(err, &conflict) {
+			writeJSON(w, http.StatusConflict, errorReply{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, errorReply{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleEvents streams job progress as Server-Sent Events: one `data:`
+// line with a Status JSON per tick, a final event at the terminal
+// state, then EOF. Poll GET /jobs/{id} instead when an SSE client is
+// inconvenient — the payloads are identical.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.StatusOf(id); !ok {
+		writeJSON(w, http.StatusNotFound, errorReply{Error: fmt.Sprintf("unknown job %s", id)})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorReply{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ticker := time.NewTicker(sseInterval)
+	defer ticker.Stop()
+	emit := func() (terminal bool) {
+		st, ok := s.StatusOf(id)
+		if !ok {
+			return true
+		}
+		data, err := json.Marshal(st)
+		if err != nil {
+			return true
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return true
+		}
+		flusher.Flush()
+		return st.State.Terminal()
+	}
+	for {
+		if emit() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			// Shutdown: send one last snapshot (the job is parking in
+			// checkpointed) and end the stream instead of pinning
+			// http.Server.Shutdown to its timeout.
+			emit()
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, s.reg.Text())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	counts := make(map[State]int)
+	for _, st := range s.List() {
+		counts[st.State]++
+	}
+	writeJSON(w, http.StatusOK, HealthReply{
+		OK:      !s.stopping(),
+		Workers: s.opts.Workers,
+		Jobs:    counts,
+	})
+}

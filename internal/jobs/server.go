@@ -1,0 +1,843 @@
+// The job server: a bounded worker pool over the on-disk store, with
+// checkpoint-backed execution for campaigns and graceful, durable
+// shutdown.
+
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"aft/internal/experiments"
+	"aft/internal/metrics"
+	"aft/internal/scenario"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Dir is the job-store root (created if absent). Exactly one live
+	// server may own a store directory at a time.
+	Dir string
+	// Workers bounds the pool; values <= 0 mean one worker per CPU
+	// (the experiments.Workers convention).
+	Workers int
+	// CheckpointEvery is the campaign snapshot cadence in voting
+	// rounds; values <= 0 select the default of 100 000 rounds. A crash
+	// or kill loses at most this many rounds of recomputation per
+	// campaign, never any completed job.
+	CheckpointEvery int64
+
+	// testHaltAfter is a test-only crash simulator (settable only from
+	// inside the package): when positive, the worker that writes that
+	// many campaign checkpoints (counted server-wide) abandons its job
+	// on the spot — no result, no state transition, worker gone —
+	// leaving exactly the disk state a kill -9 at that instant leaves.
+	// Tests then open a fresh Server on the same store and assert
+	// byte-identical recovery.
+	testHaltAfter int64
+}
+
+// defaultCheckpointEvery is the campaign snapshot cadence when
+// Options.CheckpointEvery is unset.
+const defaultCheckpointEvery = 100_000
+
+// job is the in-memory face of one stored job. The state and result
+// fields are guarded by the server mutex; progress counters are atomic
+// so the HTTP handlers and the /metricz scraper read them without
+// touching the worker's locks.
+type job struct {
+	id   string
+	seq  int64
+	spec Spec
+	// total is the known amount of work (campaign rounds, scenario
+	// steps), 0 when unknown up front (sweep grids).
+	total int64
+
+	state  State   // guarded by Server.mu
+	result *Result // guarded by Server.mu; non-nil exactly in terminal states
+	// finalizing (guarded by Server.mu) marks that some goroutine has
+	// claimed the terminal transition; it makes finalize exactly-once
+	// when, say, two Cancel calls race on a queued job.
+	finalizing bool
+
+	cancel     atomic.Bool
+	rounds     atomic.Int64 // work completed so far
+	ckptRounds atomic.Int64 // rounds covered by the last durable checkpoint
+
+	// restored carries the campaign recover() already rebuilt from the
+	// job's on-disk checkpoint, so the worker that picks the job up
+	// does not read and restore the same snapshot a second time.
+	// Guarded by Server.mu; consumed (nilled) by the worker.
+	restored *experiments.Campaign
+
+	done chan struct{} // closed on terminal state
+}
+
+// Status is a point-in-time view of a job, served by GET /jobs/{id}.
+type Status struct {
+	ID    string `json:"id"`
+	Kind  Kind   `json:"kind"`
+	State State  `json:"state"`
+	// Rounds is the work completed so far; for running campaigns it
+	// advances once per checkpoint chunk.
+	Rounds int64 `json:"rounds"`
+	// TotalRounds is the configured amount of work, 0 when unknown.
+	TotalRounds int64 `json:"total_rounds,omitempty"`
+	// CheckpointRounds is how many rounds the last durable checkpoint
+	// covers: the most a kill right now could rewind this job to.
+	CheckpointRounds int64 `json:"checkpoint_rounds,omitempty"`
+	// Error explains failed and cancelled states.
+	Error string `json:"error,omitempty"`
+}
+
+// Server is the durable experiment job server. Construct with
+// NewServer, serve it over HTTP (it implements http.Handler), and stop
+// it with Close, which checkpoints every running campaign before
+// returning. All methods are safe for concurrent use.
+type Server struct {
+	opts  Options
+	store *store
+	cache *experiments.SweepCache
+	mux   *http.ServeMux
+	reg   *metrics.Registry
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   map[string]*job
+	order  []string // job IDs in submission order
+	queue  []*job   // FIFO of runnable jobs
+	closed bool
+	seq    int64
+	notes  []string // recovery notes from the startup scan
+
+	wg sync.WaitGroup
+
+	submitted, deduped   metrics.AtomicCounter
+	doneJobs, failedJobs metrics.AtomicCounter
+	cancelledJobs        metrics.AtomicCounter
+	resumedJobs          metrics.AtomicCounter
+	checkpointsWritten   metrics.AtomicCounter
+	roundsRun            metrics.AtomicCounter
+	runningJobs          metrics.Gauge
+
+	// closing is closed when Close begins, so long-lived streams (SSE)
+	// observe shutdown without polling.
+	closing chan struct{}
+
+	// halted is closed when the Options.testHaltAfter crash simulator
+	// fires.
+	halted   chan struct{}
+	haltOnce sync.Once
+}
+
+// NewServer opens (creating if needed) the job store at opts.Dir,
+// recovers every stored job — terminal jobs load their results,
+// in-flight ones re-enter the queue, campaigns at their last checkpoint
+// — and starts the worker pool.
+func NewServer(opts Options) (*Server, error) {
+	st, err := openStore(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := experiments.OpenSweepCache(st.memoDir())
+	if err != nil {
+		return nil, err
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = defaultCheckpointEvery
+	}
+	opts.Workers = experiments.Workers(opts.Workers)
+	s := &Server{
+		opts:    opts,
+		store:   st,
+		cache:   cache,
+		reg:     &metrics.Registry{},
+		jobs:    make(map[string]*job),
+		closing: make(chan struct{}),
+		halted:  make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.registerMetrics()
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.initHTTP()
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// registerMetrics wires the server counters into the registry /metricz
+// exposes.
+func (s *Server) registerMetrics() {
+	s.reg.RegisterCounter("aft_jobs_submitted_total", &s.submitted)
+	s.reg.RegisterCounter("aft_jobs_deduped_total", &s.deduped)
+	s.reg.RegisterCounter("aft_jobs_done_total", &s.doneJobs)
+	s.reg.RegisterCounter("aft_jobs_failed_total", &s.failedJobs)
+	s.reg.RegisterCounter("aft_jobs_cancelled_total", &s.cancelledJobs)
+	s.reg.RegisterCounter("aft_jobs_resumed_total", &s.resumedJobs)
+	s.reg.RegisterCounter("aft_checkpoints_written_total", &s.checkpointsWritten)
+	s.reg.RegisterCounter("aft_rounds_executed_total", &s.roundsRun)
+	s.reg.RegisterGauge("aft_jobs_running", &s.runningJobs)
+	s.reg.Register("aft_jobs_queued", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.queue))
+	})
+	s.reg.Register("aft_memo_hits_total", func() int64 { h, _ := s.cache.Stats(); return h })
+	s.reg.Register("aft_memo_misses_total", func() int64 { _, m := s.cache.Stats(); return m })
+}
+
+// Metrics returns the registry /metricz renders; callers may register
+// additional sources before serving.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// RecoveryNotes reports per-job problems found while scanning the store
+// at startup (damaged spec or result files). Healthy jobs are
+// unaffected by a damaged neighbour.
+func (s *Server) RecoveryNotes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.notes...)
+}
+
+// recover loads the store into memory and re-enqueues in-flight jobs in
+// their original submission order.
+func (s *Server) recover() error {
+	restored, notes, err := s.store.scan()
+	if err != nil {
+		return err
+	}
+	s.notes = notes
+	for _, r := range restored {
+		j := &job{
+			id:    r.id,
+			seq:   r.rec.Seq,
+			spec:  r.rec.Spec,
+			total: jobTotal(r.rec.Spec),
+			done:  make(chan struct{}),
+		}
+		if r.rec.Seq >= s.seq {
+			s.seq = r.rec.Seq + 1
+		}
+		if r.result != nil {
+			j.state = r.result.State
+			j.result = r.result
+			j.finalizing = true
+			j.rounds.Store(r.result.Rounds)
+			close(j.done)
+		} else {
+			j.state = StateQueued
+			if snap := s.store.readCheckpoint(r.id); snap != nil {
+				// Only a checkpoint that actually restores parks the
+				// job as checkpointed — and its round counters are
+				// loaded so status and cancel tell the truth before a
+				// worker resumes it. One that decodes but fails the
+				// campaign cross-checks is discarded here exactly as
+				// the worker would discard it: the job recomputes from
+				// round zero rather than failing or lying.
+				if c, err := experiments.RestoreCampaign(snap); err == nil {
+					j.state = StateCheckpointed
+					j.restored = c
+					j.rounds.Store(c.Rounds())
+					j.ckptRounds.Store(c.Rounds())
+				} else {
+					s.notes = append(s.notes,
+						fmt.Sprintf("job %s: unusable checkpoint (%v); recomputing from round zero", r.id, err))
+				}
+			}
+			s.queue = append(s.queue, j)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	return nil
+}
+
+// jobTotal reports the configured amount of work, where it is knowable
+// up front.
+func jobTotal(spec Spec) int64 {
+	switch {
+	case spec.Campaign != nil:
+		return spec.Campaign.Steps
+	case spec.Scenario != nil:
+		if spec.Scenario.Spec != nil {
+			return spec.Scenario.Spec.Horizon
+		}
+		if builtin, ok := scenario.Builtin(spec.Scenario.Name); ok {
+			return builtin.Horizon
+		}
+	}
+	return 0
+}
+
+// ErrShuttingDown is returned by Submit once Close has begun; the HTTP
+// layer maps it to 503 so clients know to retry against the restarted
+// server rather than discard the spec as malformed.
+var ErrShuttingDown = errors.New("jobs: server is shutting down")
+
+// Submit registers a job (persisting its spec durably before the
+// success reply) and enqueues it. Submitting a spec whose content
+// address matches an existing job returns that job's status with
+// deduped=true instead of recomputing — whatever state the existing
+// job is in.
+func (s *Server) Submit(spec Spec) (Status, bool, error) {
+	id, err := spec.ID() // validates
+	if err != nil {
+		return Status{}, false, err
+	}
+	j := &job{
+		id:    id,
+		spec:  spec,
+		total: jobTotal(spec),
+		state: StateQueued,
+		done:  make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Status{}, false, ErrShuttingDown
+	}
+	if existing, ok := s.jobs[id]; ok {
+		st := s.statusLocked(existing)
+		s.mu.Unlock()
+		s.deduped.Inc()
+		return st, true, nil
+	}
+	// Reserve the ID (so concurrent identical submits dedup onto this
+	// job) but persist the spec outside the lock — an fsync must not
+	// stall status reads and worker scheduling.
+	j.seq = s.seq
+	s.seq++
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	if err := s.store.writeSpec(id, storedSpec{Seq: j.seq, Spec: spec}); err != nil {
+		// The job was already visible (a concurrent identical submit
+		// may have deduplicated onto it), so it must not vanish:
+		// finalize it as failed — exactly-once, in case a racing
+		// Cancel finalized it first — and report the disk problem.
+		s.fail(j, fmt.Errorf("persist spec: %w", err))
+		return Status{}, false, err
+	}
+
+	s.mu.Lock()
+	// A concurrent Cancel may have already finalized the reserved job;
+	// only a still-queued one enters the run queue.
+	if !j.state.Terminal() {
+		s.queue = append(s.queue, j)
+		s.cond.Signal()
+	}
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	s.submitted.Inc()
+	return st, false, nil
+}
+
+// statusLocked snapshots a job; the caller holds s.mu.
+func (s *Server) statusLocked(j *job) Status {
+	st := Status{
+		ID:               j.id,
+		Kind:             j.spec.Kind,
+		State:            j.state,
+		Rounds:           j.rounds.Load(),
+		TotalRounds:      j.total,
+		CheckpointRounds: j.ckptRounds.Load(),
+	}
+	if j.result != nil {
+		st.Error = j.result.Error
+	}
+	return st
+}
+
+// StatusOf reports a job's current status.
+func (s *Server) StatusOf(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return s.statusLocked(j), true
+}
+
+// List returns every job's status in submission order.
+func (s *Server) List() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// ResultOf returns a terminal job's result. The boolean reports whether
+// the job exists; a nil result for an existing job means it has not
+// reached a terminal state yet.
+func (s *Server) ResultOf(id string) (*Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Wait blocks until the job reaches a terminal state or the context
+// ends, and returns the terminal result.
+func (s *Server) Wait(ctx context.Context, id string) (*Result, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("jobs: unknown job %s", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.result, nil
+}
+
+// ErrConflict distinguishes "cannot in this state" cancel failures from
+// unknown-job failures for the HTTP layer.
+type ErrConflict struct{ msg string }
+
+// Error implements error.
+func (e ErrConflict) Error() string { return e.msg }
+
+// Cancel requests a job's cancellation. A queued job is cancelled
+// immediately and durably; a running campaign is checkpointed and then
+// cancelled at its next chunk boundary (checkpoint-on-cancel), so the
+// work done so far survives on disk; a running sweep or scenario only
+// observes the request at completion and finishes as done. Cancelling a
+// terminal job returns an ErrConflict.
+func (s *Server) Cancel(id string) (Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Status{}, fmt.Errorf("jobs: unknown job %s", id)
+	}
+	if j.state.Terminal() {
+		st := s.statusLocked(j)
+		s.mu.Unlock()
+		return st, ErrConflict{msg: fmt.Sprintf("jobs: job %s is already %s", id, j.state)}
+	}
+	j.cancel.Store(true)
+	if j.state == StateQueued || j.state == StateCheckpointed {
+		// Remove from the queue and finalize without a worker.
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		res := &Result{
+			ID: j.id, Kind: j.spec.Kind, State: StateCancelled,
+			Error:  "cancelled before running",
+			Rounds: j.ckptRounds.Load(),
+		}
+		if res.Rounds > 0 {
+			res.Error = "cancelled while parked at a checkpoint"
+		}
+		s.finalize(j, res)
+	} else {
+		s.mu.Unlock()
+	}
+	st, _ := s.StatusOf(id)
+	return st, nil
+}
+
+// Close stops the server gracefully: no new jobs are accepted, idle
+// workers exit, and every running campaign writes a final checkpoint
+// and parks in StateCheckpointed, from which the next server on the
+// same store resumes it. Close returns once all workers have stopped.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.closing)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// stopping reports whether Close has been called.
+func (s *Server) stopping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// worker is one pool goroutine: pop, execute, repeat until close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
+		if !s.execute(j) {
+			return // simulated crash (test hook): this worker is gone
+		}
+	}
+}
+
+// next blocks for a runnable job, marking it running before returning
+// it. It returns nil when the server is closing.
+func (s *Server) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		for len(s.queue) > 0 {
+			j := s.queue[0]
+			s.queue = s.queue[1:]
+			if j.state.Terminal() { // cancelled while queued
+				continue
+			}
+			j.state = StateRunning
+			return j
+		}
+		s.cond.Wait()
+	}
+}
+
+// execute runs one job to a terminal state, a parked checkpoint, or a
+// simulated crash (in which case it returns false and the worker dies).
+func (s *Server) execute(j *job) bool {
+	s.runningJobs.Inc()
+	defer s.runningJobs.Dec()
+	switch j.spec.Kind {
+	case KindCampaign:
+		return s.runCampaign(j)
+	case KindSweep:
+		s.runSweep(j)
+	case KindScenario:
+		s.runScenario(j)
+	}
+	return true
+}
+
+// finalize persists and publishes a terminal result. It is
+// exactly-once per job: a second caller (two cancels racing, say)
+// returns without touching the job.
+func (s *Server) finalize(j *job, res *Result) {
+	s.mu.Lock()
+	if j.finalizing {
+		s.mu.Unlock()
+		return
+	}
+	j.finalizing = true
+	s.mu.Unlock()
+	if err := s.store.writeResult(j.id, res); err != nil {
+		// The result could not be made durable; fail the job in memory
+		// so the operator sees it, and leave the checkpoint for a
+		// retry after the disk problem is fixed.
+		res = &Result{ID: j.id, Kind: j.spec.Kind, State: StateFailed,
+			Error: fmt.Sprintf("persist result: %v", err), Rounds: res.Rounds}
+	}
+	s.mu.Lock()
+	j.state = res.State
+	j.result = res
+	s.mu.Unlock()
+	j.rounds.Store(res.Rounds)
+	switch res.State {
+	case StateDone:
+		s.doneJobs.Inc()
+	case StateFailed:
+		s.failedJobs.Inc()
+	case StateCancelled:
+		s.cancelledJobs.Inc()
+	}
+	close(j.done)
+}
+
+// fail finalizes a job with an error.
+func (s *Server) fail(j *job, err error) {
+	s.finalize(j, &Result{
+		ID: j.id, Kind: j.spec.Kind, State: StateFailed,
+		Error: err.Error(), Rounds: j.rounds.Load(),
+	})
+}
+
+// campaignSummary is the structured half of a campaign result.
+type campaignSummary struct {
+	Rounds        int64   `json:"rounds"`
+	Failures      int64   `json:"failures"`
+	Raises        int64   `json:"raises"`
+	Lowers        int64   `json:"lowers"`
+	ReplicaRounds int64   `json:"replica_rounds"`
+	MinFraction   float64 `json:"min_fraction"`
+	Resumed       bool    `json:"resumed,omitempty"`
+}
+
+// runCampaign executes a Fig. 6/7 campaign in checkpointed chunks. It
+// returns false only when the test-only crash hook fired.
+func (s *Server) runCampaign(j *job) bool {
+	cfg := *j.spec.Campaign
+	s.mu.Lock()
+	c := j.restored // rebuilt once by recover(); consume it
+	j.restored = nil
+	s.mu.Unlock()
+	resumed := c != nil
+	if c == nil {
+		if snap := s.store.readCheckpoint(j.id); snap != nil {
+			// A checkpoint that fails to restore is discarded, not
+			// fatal: the snapshot is a cache of a deterministic
+			// computation, so the honest response to damage is
+			// recomputing from round zero.
+			if restored, err := experiments.RestoreCampaign(snap); err == nil {
+				c = restored
+				resumed = true
+				j.rounds.Store(c.Rounds())
+				j.ckptRounds.Store(c.Rounds())
+			}
+		}
+	}
+	if resumed {
+		s.resumedJobs.Inc()
+	}
+	if c == nil {
+		fresh, err := experiments.NewCampaign(cfg)
+		if err != nil {
+			s.fail(j, err)
+			return true
+		}
+		c = fresh
+	}
+
+	for c.Remaining() > 0 {
+		if j.cancel.Load() {
+			if err := s.writeCampaignCheckpoint(j, c); err != nil {
+				s.fail(j, err)
+				return true
+			}
+			s.finalize(j, &Result{
+				ID: j.id, Kind: j.spec.Kind, State: StateCancelled,
+				Error:  "cancelled by request",
+				Rounds: c.Rounds(),
+			})
+			return true
+		}
+		if s.stopping() {
+			// Graceful shutdown: park the campaign durably. The next
+			// server on this store resumes it from exactly here.
+			if err := s.writeCampaignCheckpoint(j, c); err != nil {
+				s.fail(j, err)
+				return true
+			}
+			s.mu.Lock()
+			j.state = StateCheckpointed
+			s.mu.Unlock()
+			return true
+		}
+		n := s.opts.CheckpointEvery
+		if r := c.Remaining(); n > r {
+			n = r
+		}
+		c.Run(n)
+		j.rounds.Store(c.Rounds())
+		s.roundsRun.Add(n)
+		if c.Remaining() > 0 {
+			if err := s.writeCampaignCheckpoint(j, c); err != nil {
+				s.fail(j, err)
+				return true
+			}
+			if s.opts.testHaltAfter > 0 &&
+				s.checkpointsWritten.Value() >= s.opts.testHaltAfter {
+				s.haltOnce.Do(func() { close(s.halted) })
+				return false // simulated kill -9: abandon everything
+			}
+		}
+	}
+
+	res := c.Result()
+	summary, err := json.Marshal(campaignSummary{
+		Rounds:        res.Rounds,
+		Failures:      res.Failures,
+		Raises:        res.Raises,
+		Lowers:        res.Lowers,
+		ReplicaRounds: res.ReplicaRounds,
+		MinFraction:   res.MinFraction,
+		Resumed:       resumed,
+	})
+	if err != nil {
+		s.fail(j, err)
+		return true
+	}
+	s.finalize(j, &Result{
+		ID: j.id, Kind: j.spec.Kind, State: StateDone,
+		Rounds:     res.Rounds,
+		Transcript: renderCampaign(cfg, res),
+		Summary:    summary,
+	})
+	return true
+}
+
+// writeCampaignCheckpoint snapshots a campaign durably and records the
+// covered rounds.
+func (s *Server) writeCampaignCheckpoint(j *job, c *experiments.Campaign) error {
+	snap, err := c.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := s.store.writeCheckpoint(j.id, snap); err != nil {
+		return err
+	}
+	s.checkpointsWritten.Inc()
+	j.ckptRounds.Store(c.Rounds())
+	return nil
+}
+
+// renderCampaign renders the campaign's figure transcripts: the Fig. 6
+// staircase when sampling was configured, always the Fig. 7 histogram.
+func renderCampaign(cfg experiments.AdaptiveRunConfig, res experiments.AdaptiveRunResult) string {
+	out := ""
+	if cfg.SampleEvery > 0 {
+		out += experiments.RenderFig6(res)
+	}
+	return out + experiments.RenderFig7(res, cfg.Policy.Min)
+}
+
+// runSweep executes one ablation grid through the shared memo cache.
+// Grids are atomic units of work: a cancel request arriving mid-grid is
+// outrun by the computation (every finished cell is cached, so nothing
+// is wasted either way).
+func (s *Server) runSweep(j *job) {
+	sw := j.spec.Sweep
+	var (
+		transcript string
+		summary    any
+		cells      int
+		err        error
+	)
+	switch sw.Grid {
+	case "e8":
+		var rows []experiments.E8Row
+		rows, err = experiments.RunE8ParallelCached(sw.Steps, sweepSeed(sw.Seed), 1, s.cache)
+		if err == nil {
+			transcript, summary, cells = experiments.RenderE8(rows), rows, len(rows)
+		}
+	case "e9":
+		cfg := experiments.DefaultE9Config()
+		if sw.E9 != nil {
+			cfg = *sw.E9
+		}
+		var rows []experiments.E9Row
+		rows, err = experiments.RunE9ParallelCached(cfg, 1, s.cache)
+		if err == nil {
+			transcript, summary, cells = experiments.RenderE9(rows), rows, len(rows)
+		}
+	case "e10":
+		var rows []experiments.E10Row
+		rows, err = experiments.RunE10ParallelCached(sw.Steps, sweepSeed(sw.Seed), sw.LowerAfters, 1, s.cache)
+		if err == nil {
+			transcript, summary, cells = experiments.RenderE10(rows), rows, len(rows)
+		}
+	default:
+		err = fmt.Errorf("jobs: unknown sweep grid %q", sw.Grid)
+	}
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	data, err := json.Marshal(summary)
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	s.finalize(j, &Result{
+		ID: j.id, Kind: j.spec.Kind, State: StateDone,
+		Rounds:     int64(cells),
+		Transcript: transcript,
+		Summary:    data,
+	})
+}
+
+// sweepSeed applies the figures' default seed to unset sweep seeds.
+func sweepSeed(seed uint64) uint64 {
+	if seed == 0 {
+		return 1906
+	}
+	return seed
+}
+
+// scenarioSummary is the structured half of a scenario result.
+type scenarioSummary struct {
+	Name              string   `json:"name"`
+	Seed              uint64   `json:"seed"`
+	Horizon           int64    `json:"horizon"`
+	OrganRounds       int64    `json:"organ_rounds"`
+	Resizes           int64    `json:"resizes"`
+	RejectedResizes   int64    `json:"rejected_resizes"`
+	WatchdogFires     int64    `json:"watchdog_fires"`
+	InvariantsChecked int64    `json:"invariants_checked"`
+	Violations        []string `json:"violations,omitempty"`
+}
+
+// runScenario executes one chaos scenario. Scenarios are deterministic
+// and short relative to campaigns, so they are atomic units: durability
+// comes from the persisted spec (a crashed scenario re-runs from its
+// seed and produces the identical transcript). A scenario that violates
+// an invariant fails the job, mirroring aft-chaos's non-zero exit.
+func (s *Server) runScenario(j *job) {
+	spec, opt, err := j.spec.Scenario.resolve()
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	res, err := scenario.Run(spec, opt)
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	sum := scenarioSummary{
+		Name:              spec.Name,
+		Seed:              res.Seed,
+		Horizon:           spec.Horizon,
+		OrganRounds:       res.OrganRounds,
+		Resizes:           res.Resizes,
+		RejectedResizes:   res.RejectedResizes,
+		WatchdogFires:     res.WatchdogFires,
+		InvariantsChecked: res.InvariantsChecked,
+	}
+	for _, v := range res.Violations {
+		sum.Violations = append(sum.Violations, v.String())
+	}
+	data, merr := json.Marshal(sum)
+	if merr != nil {
+		s.fail(j, merr)
+		return
+	}
+	out := &Result{
+		ID: j.id, Kind: j.spec.Kind, State: StateDone,
+		Rounds:     spec.Horizon,
+		Transcript: res.Transcript,
+		Summary:    data,
+	}
+	if n := len(res.Violations); n > 0 {
+		out.State = StateFailed
+		out.Error = fmt.Sprintf("%d invariant violation(s): %s", n, res.Violations[0].String())
+	}
+	s.finalize(j, out)
+}

@@ -1,0 +1,116 @@
+// Metrics registry: a snapshot-under-mutex exposition surface for
+// long-running servers.
+//
+// The original metrics types (Counter, IntHistogram, Series) are
+// single-goroutine by contract — they live inside one campaign engine
+// and are folded into results when the campaign ends. A serving process
+// breaks that assumption: cmd/aft-serve scrapes its counters over
+// /metricz while worker goroutines are mutating them. The Registry
+// solves this without slowing the hot path: writers use the atomic
+// types (AtomicCounter, Gauge), readers take a consistent snapshot
+// under the registry mutex, and the single-goroutine types stay exactly
+// as fast as before for the engines that own them privately.
+
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge is an instantaneous level (jobs running, queue depth) safe for
+// concurrent use. Unlike AtomicCounter it may go down. The zero value
+// is ready to use; it must not be copied after first use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by delta, which may be negative.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Sample is one named reading of a registered metric.
+type Sample struct {
+	Name  string
+	Value int64
+}
+
+// Registry is a named set of int64 metric sources with a text
+// exposition, built for concurrent scrape-while-running use: Register
+// and Snapshot serialize on an internal mutex, and the registered read
+// functions are expected to be individually safe for concurrent use
+// (the atomic types' Value methods are).
+//
+// The zero value is ready to use; it must not be copied after first
+// use.
+type Registry struct {
+	mu      sync.Mutex
+	sources map[string]func() int64
+}
+
+// Register adds a named source. The name must be non-empty and unused;
+// read must be safe to call from any goroutine. Register panics
+// otherwise — metric wiring is programmer error, not runtime input.
+func (r *Registry) Register(name string, read func() int64) {
+	if name == "" || read == nil {
+		panic("metrics: Register needs a name and a read function")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sources == nil {
+		r.sources = make(map[string]func() int64)
+	}
+	if _, dup := r.sources[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
+	}
+	r.sources[name] = read
+}
+
+// RegisterCounter registers an AtomicCounter's value under name.
+func (r *Registry) RegisterCounter(name string, c *AtomicCounter) {
+	r.Register(name, c.Value)
+}
+
+// RegisterGauge registers a Gauge's level under name.
+func (r *Registry) RegisterGauge(name string, g *Gauge) {
+	r.Register(name, g.Value)
+}
+
+// Snapshot reads every registered source once and returns the samples
+// sorted by name. The snapshot is taken under the registry mutex, so a
+// scrape observes a single registration state; individual values are
+// read through their own (atomic or otherwise synchronized) readers.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, len(r.sources))
+	for name, read := range r.sources {
+		out = append(out, Sample{Name: name, Value: read()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Text renders the snapshot in the /metricz exposition format: one
+// "name value" line per metric, sorted by name, trailing newline.
+func (r *Registry) Text() string {
+	var b strings.Builder
+	for _, s := range r.Snapshot() {
+		fmt.Fprintf(&b, "%s %d\n", s.Name, s.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistrySnapshotSortedAndText(t *testing.T) {
+	var reg Registry
+	var c AtomicCounter
+	var g Gauge
+	c.Add(3)
+	g.Set(-2)
+	reg.RegisterCounter("zzz_total", &c)
+	reg.RegisterGauge("aaa_level", &g)
+	reg.Register("mmm", func() int64 { return 7 })
+
+	snap := reg.Snapshot()
+	if len(snap) != 3 || snap[0].Name != "aaa_level" || snap[1].Name != "mmm" || snap[2].Name != "zzz_total" {
+		t.Fatalf("snapshot %+v not sorted by name", snap)
+	}
+	want := "aaa_level -2\nmmm 7\nzzz_total 3\n"
+	if got := reg.Text(); got != want {
+		t.Fatalf("Text() = %q, want %q", got, want)
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	var reg Registry
+	reg.Register("x", func() int64 { return 0 })
+	for name, fn := range map[string]func(){
+		"duplicate": func() { reg.Register("x", func() int64 { return 1 }) },
+		"empty":     func() { reg.Register("", func() int64 { return 1 }) },
+		"nil read":  func() { reg.Register("y", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s registration did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(10)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge %d, want 11", got)
+	}
+	g.Set(-4)
+	if got := g.Value(); got != -4 {
+		t.Fatalf("gauge %d, want -4", got)
+	}
+}
+
+// TestRegistryConcurrentScrape exercises writers and scrapers together;
+// meaningful under -race, which CI always applies.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	var reg Registry
+	var c AtomicCounter
+	var g Gauge
+	reg.RegisterCounter("writes_total", &c)
+	reg.RegisterGauge("level", &g)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Inc() // at least one write per goroutine, whatever the scheduler does
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					g.Add(1)
+					g.Dec()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if out := reg.Text(); !strings.Contains(out, "writes_total ") {
+			t.Fatalf("scrape lost a metric: %q", out)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c.Value() == 0 {
+		t.Fatal("no writes observed")
+	}
+}

@@ -1,13 +1,18 @@
 // Command doclint is the repository's documentation gate, run by CI.
 //
-// It enforces two rules over the module's non-test Go files:
+// It enforces three rules over the module's non-test Go files:
 //
 //  1. every package — including main packages under cmd/ and examples/
 //     — has a package doc comment on its package clause;
 //  2. in library packages (the root package and everything under
 //     internal/), every exported top-level identifier — funcs, methods,
 //     types, consts, vars — has a doc comment. A documented const/var
-//     block covers its members.
+//     block covers its members;
+//  3. no package comment ends mid-sentence: the last prose line must
+//     close with terminal punctuation (a tab-indented final block —
+//     usage text, protocol examples — is a deliberate ending and is
+//     exempt). A comment trailing off in a half-written list or clause
+//     is documentation debt pretending to be documentation.
 //
 // Violations are printed one per line as file:line: message, and the
 // command exits non-zero if any exist, so CI fails when documentation
@@ -109,6 +114,10 @@ func lintPackage(rel string, files []string) []string {
 		}
 		if f.Doc != nil {
 			hasPackageDoc = true
+			if docEndsMidSentence(f.Doc.Text()) {
+				problems = append(problems, fmt.Sprintf(
+					"%s: package comment ends mid-sentence", fset.Position(f.Doc.End())))
+			}
 		}
 		if strictExports(rel) {
 			problems = append(problems, lintExports(fset, f)...)
@@ -118,6 +127,31 @@ func lintPackage(rel string, files []string) []string {
 		problems = append(problems, fmt.Sprintf("%s: package %s has no package doc comment", files[0], rel))
 	}
 	return problems
+}
+
+// docEndsMidSentence reports whether a package comment's closing line
+// trails off without finishing its sentence. The input is
+// CommentGroup.Text() output: comment markers stripped, preformatted
+// lines still carrying their tab indentation.
+func docEndsMidSentence(doc string) bool {
+	lines := strings.Split(doc, "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		line := strings.TrimRight(lines[i], " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\t") {
+			// A closing preformatted block (usage text, wire-protocol
+			// examples) is a deliberate ending.
+			return false
+		}
+		// Closing quotes or brackets may trail the sentence's
+		// terminal punctuation.
+		line = strings.TrimRight(line, ")]\"'”’")
+		return !strings.HasSuffix(line, ".") && !strings.HasSuffix(line, "!") &&
+			!strings.HasSuffix(line, "?")
+	}
+	return true // a blank package comment communicates nothing
 }
 
 // receiverExported reports whether a method receiver names an exported

@@ -90,6 +90,82 @@ func main() {}
 	}
 }
 
+// TestLintRejectsTruncatedPackageComments exercises rule 3: a package
+// comment whose prose trails off mid-sentence or mid-list is flagged,
+// while terminal punctuation and closing preformatted blocks pass.
+func TestLintRejectsTruncatedPackageComments(t *testing.T) {
+	dir := t.TempDir()
+	// Trails off mid-list: the last prose line ends with a semicolon.
+	write(t, dir, "internal/midlist/midlist.go", `// Package midlist scans for:
+//   - narrowing conversions;
+//   - comparisons against magic numbers;
+package midlist
+`)
+	// Trails off mid-sentence: no terminal punctuation at all.
+	write(t, dir, "internal/midsentence/midsentence.go", `// Package midsentence does things and also
+package midsentence
+`)
+	// Ends with a colon promising a block that never came.
+	write(t, dir, "internal/colon/colon.go", `// Package colon is configured as follows:
+package colon
+`)
+	// Complete sentence, closing parenthesis after the period: clean.
+	write(t, dir, "internal/fine/fine.go", `// Package fine is documented (completely.)
+//
+// Every Exported identifier below is documented too.
+package fine
+`)
+	// Ends with a preformatted usage block: a deliberate ending, clean.
+	write(t, dir, "internal/usage/usage.go", `// Package usage is a tool.
+//
+// Usage:
+//
+//	usage [-flags]
+package usage
+`)
+
+	problems, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{"midlist.go", "midsentence.go", "colon.go"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("truncated comment in %s not flagged:\n%s", want, joined)
+		}
+	}
+	for _, banned := range []string{"fine.go", "usage.go"} {
+		if strings.Contains(joined, banned) {
+			t.Errorf("false positive on %s:\n%s", banned, joined)
+		}
+	}
+	if n := strings.Count(joined, "ends mid-sentence"); n != 3 {
+		t.Errorf("got %d mid-sentence findings, want 3:\n%s", n, joined)
+	}
+}
+
+// TestDocEndsMidSentence pins the line-level classifier.
+func TestDocEndsMidSentence(t *testing.T) {
+	tests := []struct {
+		doc  string
+		want bool
+	}{
+		{"Package x does y.\n", false},
+		{"Package x does y!\n", false},
+		{"Package x, which\n", true},
+		{"Package x scans for:\n  - a;\n  - b;\n", true},
+		{"Package x is a tool.\n\nUsage:\n\n\tx [-flags]\n", false},
+		{"Package x (see DESIGN.md.)\n", false},
+		{"Package x trails \"off\n", true},
+		{"", true},
+	}
+	for _, tc := range tests {
+		if got := docEndsMidSentence(tc.doc); got != tc.want {
+			t.Errorf("docEndsMidSentence(%q) = %v, want %v", tc.doc, got, tc.want)
+		}
+	}
+}
+
 // TestLintRepositoryIsClean runs the gate over the actual repository —
 // the same invocation CI uses — so documentation debt fails tests
 // before it fails CI.
