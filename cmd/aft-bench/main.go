@@ -34,10 +34,10 @@ import (
 	"io"
 	"log"
 	"os"
-	"path/filepath"
 	"runtime"
 	"time"
 
+	"aft/internal/checkpoint"
 	"aft/internal/cli"
 	"aft/internal/experiments"
 )
@@ -229,21 +229,9 @@ func appendTrajectory(path string, e trajectoryEntry) error {
 	if err != nil {
 		return err
 	}
-	// Temp file + rename: a corrupt history is a hard error above, so a
-	// kill mid-write must never be able to produce one.
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(append(out, '\n')); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	// A corrupt history is a hard error above, so a kill mid-write must
+	// never be able to produce one: the replacement is atomic.
+	return checkpoint.WriteFileAtomic(path, append(out, '\n'))
 }
 
 // benchSnapshot is the BENCH_fig7.json schema: the §3.3 campaign hot
@@ -349,7 +337,7 @@ func runBench7(steps int64, seed uint64, out, trajectory string, stdout io.Write
 		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
+	if err := checkpoint.WriteFileAtomic(out, data); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "engine:    %8.1f ns/round  %6.4f allocs/round  %12.0f rounds/sec\n",

@@ -32,6 +32,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -80,8 +81,9 @@ func run(args []string, stdout io.Writer) error {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		srv.Close()
-		return err
+		// Close parks any campaigns the recovery pass resumed; its
+		// error matters as much as the listen failure.
+		return errors.Join(err, srv.Close())
 	}
 	// The resolved address line is load-bearing: with port 0 it is how
 	// scripts (and the crash-recovery integration test) learn the port.
@@ -97,8 +99,7 @@ func run(args []string, stdout io.Writer) error {
 
 	select {
 	case err := <-errc:
-		srv.Close()
-		return err
+		return errors.Join(err, srv.Close())
 	case s := <-sig:
 		fmt.Fprintf(stdout, "aft-serve: %v: checkpointing running jobs and shutting down\n", s)
 		// Close the job server first: it refuses new submissions (503),

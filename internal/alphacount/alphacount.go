@@ -19,6 +19,7 @@ package alphacount
 
 import (
 	"fmt"
+	"sort"
 
 	"aft/internal/faults"
 )
@@ -252,11 +253,12 @@ func (b *Bank) Judge(component string, fault bool) Verdict {
 	return b.Get(component).Judge(fault)
 }
 
-// Components returns the names of all tracked components.
+// Components returns the names of all tracked components, sorted.
 func (b *Bank) Components() []string {
 	out := make([]string, 0, len(b.filters))
 	for name := range b.filters {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }

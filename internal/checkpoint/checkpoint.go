@@ -215,7 +215,7 @@ func WriteFileAtomic(path string, data []byte) error {
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the write error is the one to report
 		return err
 	}
 	// Flush to stable storage before the rename: without it a system
@@ -223,12 +223,13 @@ func WriteFileAtomic(path string, data []byte) error {
 	// the path pointing at a truncated file — destroying the previous
 	// good copy, the one loss this layer must prevent.
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the sync error is the one to report
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
+	//aftvet:allow atomicwrite -- this IS the atomic-write primitive: the one sanctioned rename every persistence package routes through
 	return os.Rename(tmp.Name(), path)
 }
 

@@ -210,6 +210,8 @@ func (c Clash) String() string {
 
 // Registry holds the declared assumption variables of a system: the
 // explicit, inspectable web of hypotheses the paper asks for.
+//
+//aftvet:allow snapshotpair -- State is the paper's introspection surface, not durable state; a registry is rebuilt by re-declaring its variables, so there is deliberately no restore path
 type Registry struct {
 	mu        sync.Mutex
 	vars      map[string]*Variable

@@ -57,6 +57,8 @@ type Sample struct {
 //
 // The zero value is ready to use; it must not be copied after first
 // use.
+//
+//aftvet:allow snapshotpair -- Snapshot is a live scrape for /metricz, not durable state; a registry is rebuilt by re-registration at process start
 type Registry struct {
 	mu      sync.Mutex
 	sources map[string]func() int64

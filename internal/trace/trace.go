@@ -32,6 +32,8 @@ func (e Event) String() string {
 // Recorder accumulates events. It is safe for concurrent use. A nil
 // *Recorder discards events, so components can accept an optional
 // recorder without nil checks at every call site.
+//
+//aftvet:allow snapshotpair -- the export side is Events (a defensive copy) whose name predates the pair convention; Restore(Events()) round-trips exactly
 type Recorder struct {
 	mu     sync.Mutex
 	events []Event

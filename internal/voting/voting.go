@@ -244,9 +244,13 @@ func tallyMap(votes []uint64, golden uint64) Outcome {
 	for _, v := range votes {
 		counts[v]++
 	}
+	// Select the winner by scanning votes — first-appearance order, the
+	// same tie-break the stack path uses — never by ranging the map: on
+	// a count tie between non-golden values, map order would pick the
+	// winner.
 	bestVal, bestCount := uint64(0), 0
-	for v, c := range counts {
-		if c > bestCount || (c == bestCount && v == golden) {
+	for _, v := range votes {
+		if c := counts[v]; c > bestCount || (c == bestCount && v == golden) {
 			bestVal, bestCount = v, c
 		}
 	}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// allowMarker is the comment prefix of an aftvet suppression.
+const allowMarker = "aftvet:allow"
+
+// allowance is one parsed //aftvet:allow comment. A finding of the
+// named analyzer on the comment's own line or the line directly below
+// it is suppressed; an allowance that suppresses nothing is itself a
+// finding, so stale exemptions cannot accumulate.
+type allowance struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// parseAllows extracts every aftvet:allow comment from a package. Known
+// names the set of valid analyzer names; malformed or unknown
+// annotations are returned as findings under the "allow" pseudo-analyzer
+// rather than silently honored.
+func parseAllows(p *Package, known map[string]bool, rel func(string) string) ([]*allowance, []Finding) {
+	var allows []*allowance
+	var bad []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		position := p.Fset.Position(pos)
+		bad = append(bad, Finding{
+			File:     rel(position.Filename),
+			Line:     position.Line,
+			Analyzer: "allow",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, allowMarker) {
+					continue
+				}
+				body := strings.TrimSpace(strings.TrimPrefix(text, allowMarker))
+				name, reason, ok := strings.Cut(body, "--")
+				name = strings.TrimSpace(name)
+				reason = strings.TrimSpace(reason)
+				switch {
+				case !ok || reason == "":
+					report(c.Pos(), "aftvet:allow needs a written justification: //aftvet:allow <analyzer> -- <reason>")
+				case !known[name]:
+					report(c.Pos(), "aftvet:allow names unknown analyzer %q", name)
+				default:
+					position := p.Fset.Position(c.Pos())
+					allows = append(allows, &allowance{
+						file:     rel(position.Filename),
+						line:     position.Line,
+						analyzer: name,
+						reason:   reason,
+					})
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// applyAllows drops findings covered by an allowance and reports every
+// allowance that covered nothing.
+func applyAllows(findings []Finding, allows []*allowance) []Finding {
+	byKey := map[string][]*allowance{}
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+	for _, a := range allows {
+		byKey[key(a.file, a.line)] = append(byKey[key(a.file, a.line)], a)
+		byKey[key(a.file, a.line+1)] = append(byKey[key(a.file, a.line+1)], a)
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, a := range byKey[key(f.File, f.Line)] {
+			if a.analyzer == f.Analyzer {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, a := range allows {
+		if !a.used {
+			kept = append(kept, Finding{
+				File:     a.file,
+				Line:     a.line,
+				Analyzer: "allow",
+				Message: fmt.Sprintf("unused aftvet:allow for %s — nothing on this or the next line triggers it; delete the annotation",
+					a.analyzer),
+			})
+		}
+	}
+	return kept
+}

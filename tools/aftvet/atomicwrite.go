@@ -1,0 +1,40 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// The atomicwrite analyzer enforces the crash-safety contract in
+// persistence packages: every durable write goes through
+// checkpoint.WriteFileAtomic (temp file in the target directory, write,
+// fsync, rename), so a kill at any instant leaves either the old file
+// or the new one, never a torn half. Direct os.WriteFile, os.Create and
+// os.Rename calls bypass that discipline and are forbidden;
+// internal/checkpoint itself carries the one sanctioned os.Rename
+// behind an aftvet:allow annotation.
+
+// atomicwriteForbidden are the os functions that perform (or complete)
+// a non-atomic file replacement.
+var atomicwriteForbidden = map[string]bool{
+	"WriteFile": true,
+	"Create":    true,
+	"Rename":    true,
+}
+
+// runAtomicWrite flags direct file-replacement calls.
+func runAtomicWrite(p *Package, report reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || !atomicwriteForbidden[fn.Name()] {
+				return true
+			}
+			report(call.Pos(), "direct os.%s in a persistence package bypasses the atomic-write discipline; use checkpoint.WriteFileAtomic", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The determinism analyzer enforces the repo's core reproducibility
+// contract inside transcript-affecting packages: the same seed must
+// always produce the same bytes. Three leak classes are forbidden:
+//
+//   - wall-clock reads (time.Now and friends) — simulated time comes
+//     from internal/simclock;
+//   - math/rand in any form — internal/xrand is the sanctioned,
+//     checkpointable randomness source;
+//   - map iteration whose order can reach output: appending to an
+//     outer slice without a later sort (the sorted-keys guard),
+//     non-commutative accumulation, order-dependent assignment, or
+//     writing to a stream/recorder from inside the loop. Commutative
+//     updates (integer +=, storing dst[k]=v under the loop key) pass.
+
+// determinismTimeFuncs are the time-package functions that read or
+// depend on the wall clock.
+var determinismTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// determinismWriteMethods are method names that emit bytes or events in
+// call order; invoked on a non-loop-local receiver inside a map
+// iteration they leak map order into output.
+var determinismWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "WriteTo": true, "Record": true,
+}
+
+// runDeterminism applies the three checks to one package.
+func runDeterminism(p *Package, report reporter) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				report(imp.Pos(), "import of %s in a transcript-affecting package; internal/xrand is the sanctioned randomness source", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p.Info, n)
+				if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && determinismTimeFuncs[fn.Name()] {
+					report(n.Pos(), "time.%s reads the wall clock in a transcript-affecting package; drive time from simclock", fn.Name())
+				}
+			case *ast.RangeStmt:
+				checkMapRange(p, f, n, report)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange inspects one range-over-map loop for order leaks.
+func checkMapRange(p *Package, f *ast.File, rs *ast.RangeStmt, report reporter) {
+	t := p.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	// The loop's key/value variables: values derived from them are in
+	// map-iteration order.
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+
+	// declaredInside reports whether an identifier's object is declared
+	// within the range statement (loop vars and body locals): updates to
+	// those cannot outlive an iteration.
+	declaredInside := func(id *ast.Ident) bool {
+		obj := p.Info.ObjectOf(id)
+		if obj == nil {
+			return true // unresolvable: give the benefit of the doubt
+		}
+		return obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
+	}
+	// outerTarget classifies an assignment target: a plain identifier
+	// declared outside the loop, or any field selector, survives the
+	// loop and so accumulates in iteration order.
+	outerTarget := func(e ast.Expr) (types.Object, bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if declaredInside(e) {
+				return nil, false
+			}
+			return p.Info.ObjectOf(e), true
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[e]; ok {
+				return sel.Obj(), true
+			}
+			return nil, false
+		}
+		return nil, false
+	}
+
+	funcBody := enclosingFuncBody(f, rs)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, funcBody, n, loopVars, outerTarget, report)
+		case *ast.CallExpr:
+			checkMapRangeCall(p, n, declaredInside, report)
+		}
+		return true
+	})
+}
+
+// commutativeIntOps are compound-assignment operators that are
+// order-independent on integers.
+var commutativeIntOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.AND_ASSIGN: true, token.OR_ASSIGN: true, token.XOR_ASSIGN: true,
+	token.AND_NOT_ASSIGN: true,
+}
+
+// checkMapRangeAssign flags assignments inside a map loop that fold
+// iteration order into state outliving the loop.
+func checkMapRangeAssign(p *Package, funcBody *ast.BlockStmt, as *ast.AssignStmt,
+	loopVars map[types.Object]bool, outerTarget func(ast.Expr) (types.Object, bool), report reporter) {
+	if as.Tok == token.DEFINE {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		target := lhs // the typed element being written
+		// Index stores keyed by the loop variable (dst[k] = v) are
+		// per-key and therefore commutative.
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if mentionsObject(p.Info, ix.Index, loopVars) {
+				continue
+			}
+			lhs = ix.X // out[0] = v inside the loop: classify by the base
+		}
+		obj, outer := outerTarget(lhs)
+		if !outer {
+			continue
+		}
+		var rhs ast.Expr
+		if i < len(as.Rhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		}
+		// Appends accumulate in iteration order unless the result is
+		// sorted afterwards (the sorted-keys guard).
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltin(p.Info, call, "append") {
+			if obj != nil && hasSortGuard(p, funcBody, obj) {
+				continue
+			}
+			report(as.Pos(), "append under map iteration without a sorted-keys guard; sort the result (or iterate sorted keys)")
+			continue
+		}
+		switch {
+		case as.Tok == token.ASSIGN:
+			// Plain reassignment of an outer variable is order-dependent
+			// when the stored value derives from the iteration.
+			if mentionsObject(p.Info, rhs, loopVars) {
+				report(as.Pos(), "assignment of a map-iteration value to state outside the loop is order-dependent; iterate sorted keys")
+			}
+		case commutativeIntOps[as.Tok]:
+			if lt := p.Info.TypeOf(target); lt != nil && !isIntegerType(lt) {
+				report(as.Pos(), "non-integer %s under map iteration is order-dependent (floating-point and string accumulation do not commute); iterate sorted keys", as.Tok)
+			}
+		default:
+			report(as.Pos(), "%s under map iteration is order-dependent; iterate sorted keys", as.Tok)
+		}
+	}
+}
+
+// checkMapRangeCall flags stream/recorder writes from inside a map loop.
+func checkMapRangeCall(p *Package, call *ast.CallExpr, declaredInside func(*ast.Ident) bool, report reporter) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print")) {
+		report(call.Pos(), "fmt.%s inside map iteration emits output in map order; iterate sorted keys", fn.Name())
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recvCheckpointWriter := false
+	if recv := p.Info.TypeOf(sel.X); recv != nil {
+		if named := namedOf(recv); named != nil && named.Obj().Pkg() != nil &&
+			strings.HasSuffix(named.Obj().Pkg().Path(), "internal/checkpoint") {
+			recvCheckpointWriter = true
+		}
+	}
+	if !determinismWriteMethods[fn.Name()] && !recvCheckpointWriter {
+		return
+	}
+	// A receiver created inside the loop (a per-iteration buffer) is
+	// reset each pass and leaks nothing.
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && declaredInside(id) {
+		return
+	}
+	report(call.Pos(), "%s.%s inside map iteration records in map order; iterate sorted keys", exprString(sel.X), fn.Name())
+}
+
+// hasSortGuard reports whether the enclosing function passes obj to a
+// sort or slices call — the idiom that makes collect-then-sort safe.
+func hasSortGuard(p *Package, funcBody *ast.BlockStmt, obj types.Object) bool {
+	if funcBody == nil {
+		return false
+	}
+	objs := map[types.Object]bool{obj: true}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(p.Info, arg, objs) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isIntegerType reports whether t's underlying type is an integer kind.
+func isIntegerType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// exprString renders a short receiver expression for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "receiver"
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// The errclose analyzer forbids silently dropped errors from the calls
+// that actually commit bytes to disk in persistence packages: Close,
+// Sync, Flush, Write and WriteString. A Close error on a written file
+// is a write error — ignoring it turns a half-persisted checkpoint into
+// a "successful" one. An explicit `_ = f.Close()` is accepted: the
+// discard is visible in the code and survives review; a bare call or
+// `defer f.Close()` is not.
+
+// errcloseNames are the commit-path methods whose error return must not
+// be dropped.
+var errcloseNames = map[string]bool{
+	"Close": true, "Sync": true, "Flush": true,
+	"Write": true, "WriteString": true,
+}
+
+// runErrClose flags bare and deferred commit calls that drop errors.
+func runErrClose(p *Package, report reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, bad := dropsCommitError(p, call); bad {
+						report(call.Pos(), "%s error silently dropped in a persistence path; handle it or make the discard explicit with _ =", name)
+					}
+				}
+			case *ast.DeferStmt:
+				if name, bad := dropsCommitError(p, n.Call); bad {
+					report(n.Pos(), "deferred %s drops its error in a persistence path; close explicitly on the success path and _ = the defer", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// inMemoryWriters are receiver types documented to never return a
+// write error (their Write's error result exists only to satisfy
+// io.Writer): dropping their results is idiomatic, not data loss.
+var inMemoryWriters = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"hash.Hash":       true,
+	"hash.Hash32":     true,
+	"hash.Hash64":     true,
+}
+
+// dropsCommitError reports whether the call is a commit-path method
+// whose error result is being discarded.
+func dropsCommitError(p *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || !errcloseNames[fn.Name()] || !returnsError(fn) {
+		return "", false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if recv := p.Info.TypeOf(sel.X); recv != nil {
+			if named := namedOf(recv); named != nil && named.Obj().Pkg() != nil &&
+				inMemoryWriters[named.Obj().Pkg().Path()+"."+named.Obj().Name()] {
+				return "", false
+			}
+		}
+	}
+	return fn.Name(), true
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureLoader is shared by every fixture test: one `go list -export`
+// run covers all the dependencies the testdata packages import, plus
+// aft/internal/checkpoint for the atomicwrite negative.
+var fixtureLoader = sync.OnceValues(func() (*loader, error) {
+	return newLoader(
+		[]string{"./internal/checkpoint"},
+		[]string{"fmt", "math/rand", "os", "sort", "strings", "sync", "time"},
+	)
+})
+
+// expectation is one `// want: <analyzer>: <message substring>` comment
+// in a fixture. Every expectation must be produced by the analysis and
+// every finding must be expected — so deleting an analyzer's check
+// fails its fixture, and an analyzer that over-reports fails it too.
+type expectation struct {
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+const wantMarker = "want: "
+
+// collectWants parses the expectations out of a fixture package.
+func collectWants(t *testing.T, p *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				idx := strings.Index(c.Text, wantMarker)
+				if idx < 0 {
+					continue
+				}
+				rest := c.Text[idx+len(wantMarker):]
+				analyzer, substr, ok := strings.Cut(rest, ": ")
+				if !ok {
+					t.Fatalf("%s: malformed want comment %q", p.Fset.Position(c.Pos()), c.Text)
+				}
+				wants = append(wants, &expectation{
+					line:     p.Fset.Position(c.Pos()).Line,
+					analyzer: strings.TrimSpace(analyzer),
+					substr:   strings.TrimSpace(substr),
+				})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("fixture declares no // want: expectations")
+	}
+	return wants
+}
+
+// runFixture type-checks one testdata package at an in-scope import
+// path, runs the full analysis (allow machinery included), and compares
+// the findings against the fixture's want comments, both directions.
+func runFixture(t *testing.T, fixture, relPath string) {
+	t.Helper()
+	ld, err := fixtureLoader()
+	if err != nil {
+		t.Fatalf("loading fixture dependencies: %v", err)
+	}
+	p, err := ld.checkDir(filepath.Join("testdata", "src", fixture), ld.modulePath+"/"+relPath)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	findings, n := analyze([]*Package{p}, ld.relFile)
+	if n != 1 {
+		t.Fatalf("analyzed %d packages, want 1", n)
+	}
+	wants := collectWants(t, p)
+	for _, f := range findings {
+		expected := false
+		for _, w := range wants {
+			if w.line == f.Line && w.analyzer == f.Analyzer && strings.Contains(f.Message, w.substr) {
+				w.matched = true
+				expected = true
+			}
+		}
+		if !expected {
+			t.Errorf("unexpected finding %s:%d: %s: %s", f.File, f.Line, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("line %d: no %s finding containing %q — the analyzer missed its positive", w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+// The fixture packages are placed at synthetic import paths chosen to
+// fall inside each analyzer's scope: faults/ is transcript-affecting,
+// jobs/ is a persistence path, experiments/ is both.
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, "determinism", "internal/faults/fixdeterminism")
+}
+
+func TestAtomicWriteFixture(t *testing.T) {
+	runFixture(t, "atomicwrite", "internal/jobs/fixatomicwrite")
+}
+
+func TestSnapshotPairFixture(t *testing.T) {
+	runFixture(t, "snapshotpair", "internal/fixsnapshotpair")
+}
+
+func TestErrCloseFixture(t *testing.T) {
+	runFixture(t, "errclose", "internal/jobs/fixerrclose")
+}
+
+func TestLockCopyFixture(t *testing.T) {
+	runFixture(t, "lockcopy", "internal/fixlockcopy")
+}
+
+func TestAllowFixture(t *testing.T) {
+	runFixture(t, "allow", "internal/experiments/fixallow")
+}

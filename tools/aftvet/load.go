@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // full import path ("aft/internal/jobs")
+	Rel   string // path relative to the module ("internal/jobs", "." for the root)
+	Mod   string // the module path ("aft")
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// loader parses and type-checks packages from source, resolving every
+// import — stdlib and module-internal alike — from the compiler export
+// data that `go list -export -deps` produces. This keeps the tool on
+// the standard library only: the go toolchain does the dependency
+// compilation and caching, and go/importer reads the result.
+type loader struct {
+	moduleDir  string
+	modulePath string
+	fset       *token.FileSet
+	exports    map[string]string // import path -> export data file
+	importer   types.Importer
+	targets    []listedPackage // non-DepOnly, non-Standard packages from the patterns
+}
+
+// newLoader lists patterns (plus extra import paths, used by tests to
+// pull in fixture dependencies) and prepares the export-data importer.
+func newLoader(patterns, extra []string) (*loader, error) {
+	modOut, err := goTool("", "list", "-m", "-f", "{{.Dir}}\t{{.Path}}")
+	if err != nil {
+		return nil, fmt.Errorf("resolving module: %w", err)
+	}
+	parts := strings.SplitN(strings.TrimSpace(modOut), "\t", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("unexpected go list -m output %q", modOut)
+	}
+	ld := &loader{
+		moduleDir:  parts[0],
+		modulePath: parts[1],
+		fset:       token.NewFileSet(),
+		exports:    map[string]string{},
+	}
+
+	args := []string{"list", "-e", "-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly", "-export", "-deps"}
+	args = append(args, patterns...)
+	args = append(args, extra...)
+	out, err := goTool(ld.moduleDir, args...)
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader([]byte(out)))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			ld.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && strings.HasPrefix(p.ImportPath, ld.modulePath) {
+			ld.targets = append(ld.targets, p)
+		}
+	}
+	sort.Slice(ld.targets, func(i, j int) bool { return ld.targets[i].ImportPath < ld.targets[j].ImportPath })
+
+	ld.importer = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := ld.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return ld, nil
+}
+
+// goTool runs the go command in dir and returns its stdout.
+func goTool(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return string(out), nil
+}
+
+// load parses and type-checks every target package.
+func (ld *loader) load() ([]*Package, error) {
+	pkgs := make([]*Package, 0, len(ld.targets))
+	for _, t := range ld.targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		p, err := ld.checkFiles(t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// checkDir type-checks an arbitrary directory of Go files under an
+// assumed import path. The fixture tests use it to place testdata
+// packages at in-scope paths like "aft/internal/experiments".
+func (ld *loader) checkDir(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return ld.checkFiles(asPath, dir, names)
+}
+
+// checkFiles parses the named files and type-checks them as one package.
+func (ld *loader) checkFiles(importPath, dir string, names []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: ld.importer}
+	tpkg, err := conf.Check(importPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	rel := strings.TrimPrefix(importPath, ld.modulePath)
+	rel = strings.TrimPrefix(rel, "/")
+	if rel == "" {
+		rel = "."
+	}
+	return &Package{
+		Path:  importPath,
+		Rel:   rel,
+		Mod:   ld.modulePath,
+		Fset:  ld.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// relFile rewrites an absolute position filename relative to the module
+// root, the form findings are reported in.
+func (ld *loader) relFile(name string) string {
+	if rel, err := filepath.Rel(ld.moduleDir, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The lockcopy analyzer makes the metrics.Registry snapshot-under-mutex
+// pattern mandatory: a method on a struct that owns a sync.Mutex (or
+// RWMutex) must not return one of that struct's map or slice fields
+// directly. The returned header aliases the guarded interior — the
+// caller reads and ranges it outside the lock, racing every writer that
+// plays by the rules. Copy under the lock and return the copy.
+
+// runLockCopy flags methods returning interior references to
+// mutex-guarded collection fields.
+func runLockCopy(p *Package, report reporter) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil {
+				continue
+			}
+			strct := guardedStruct(recv.Type())
+			if strct == nil {
+				continue
+			}
+			guarded := map[types.Object]bool{}
+			for i := 0; i < strct.NumFields(); i++ {
+				field := strct.Field(i)
+				switch field.Type().Underlying().(type) {
+				case *types.Map, *types.Slice:
+					guarded[field] = true
+				}
+			}
+			if len(guarded) == 0 {
+				continue
+			}
+			recvObj := receiverObject(p, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					sel, ok := ast.Unparen(res).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					base, ok := ast.Unparen(sel.X).(*ast.Ident)
+					if !ok || recvObj == nil || p.Info.ObjectOf(base) != recvObj {
+						continue
+					}
+					if selection, ok := p.Info.Selections[sel]; ok && guarded[selection.Obj()] {
+						report(res.Pos(), "method %s returns %s.%s, an interior reference to mutex-guarded state; copy under the lock and return the copy (metrics.Registry pattern)",
+							fd.Name.Name, base.Name, sel.Sel.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// guardedStruct returns the receiver's struct type if it directly holds
+// a sync.Mutex or sync.RWMutex field, nil otherwise.
+func guardedStruct(recv types.Type) *types.Struct {
+	named := namedOf(recv)
+	if named == nil {
+		return nil
+	}
+	strct, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < strct.NumFields(); i++ {
+		if isSyncLock(strct.Field(i).Type()) {
+			return strct
+		}
+	}
+	return nil
+}
+
+// receiverObject resolves the declared receiver variable of a method.
+func receiverObject(p *Package, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return p.Info.Defs[fd.Recv.List[0].Names[0]]
+}

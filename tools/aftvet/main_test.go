@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRepoClean is the contract gate itself: the repository's own
+// packages must produce zero findings. If this fails, either fix the
+// violation or annotate a deliberate exception with a written reason.
+func TestRepoClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("aftvet ./... exited %d\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed findings:\n%s", &stdout)
+	}
+}
+
+// TestJSONReport checks the machine-readable output CI consumes: the
+// schema decodes, every analyzer has a (zero) count, and findings is an
+// array, not null.
+func TestJSONReport(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./tools/aftvet/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("aftvet -json exited %d\nstderr:\n%s", code, &stderr)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("decoding report: %v\n%s", err, &stdout)
+	}
+	if rep.Module == "" || rep.Packages < 1 {
+		t.Errorf("report missing module/packages: %+v", rep)
+	}
+	for _, a := range analyzers {
+		n, ok := rep.Counts[a.name]
+		if !ok {
+			t.Errorf("counts missing analyzer %s", a.name)
+		}
+		if n != 0 {
+			t.Errorf("analyzer %s reports %d findings on a clean tree", a.name, n)
+		}
+	}
+	if rep.Findings == nil || len(rep.Findings) != 0 {
+		t.Errorf("findings = %v, want empty array", rep.Findings)
+	}
+	if !strings.Contains(stdout.String(), `"findings": []`) {
+		t.Errorf("findings must serialize as [], not null:\n%s", &stdout)
+	}
+}
+
+// TestList checks the -list mode names every analyzer with its scope.
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("aftvet -list exited %d", code)
+	}
+	for _, a := range analyzers {
+		if !strings.Contains(stdout.String(), a.name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", a.name, &stdout)
+		}
+	}
+}
+
+// TestBadFlag checks the usage-error exit code.
+func TestBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+// TestFindingsExitCode drives run's findings path through a fixture
+// package: the text formatter prints file:line: analyzer: message and
+// the process exits 1.
+func TestFindingsExitCode(t *testing.T) {
+	ld, err := fixtureLoader()
+	if err != nil {
+		t.Fatalf("loading fixture dependencies: %v", err)
+	}
+	p, err := ld.checkDir("testdata/src/lockcopy", ld.modulePath+"/internal/fixlockcopy")
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	findings, _ := analyze([]*Package{p}, ld.relFile)
+	if len(findings) == 0 {
+		t.Fatal("lockcopy fixture produced no findings")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "lockcopy" || f.Line == 0 || f.File == "" || f.Message == "" {
+			t.Errorf("malformed finding: %+v", f)
+		}
+	}
+}
+
+// TestInScope pins the prefix semantics the scope tables rely on.
+func TestInScope(t *testing.T) {
+	a := &analyzer{scope: []string{"internal/jobs", "."}}
+	for rel, want := range map[string]bool{
+		"internal/jobs":     true,
+		"internal/jobs/sub": true,
+		"internal/jobsite":  false,
+		".":                 true,
+		"cmd/aft-serve":     false,
+	} {
+		if got := a.inScope(rel); got != want {
+			t.Errorf("inScope(%q) = %v, want %v", rel, got, want)
+		}
+	}
+	all := &analyzer{}
+	if !all.inScope("anything/at/all") {
+		t.Error("nil scope must cover every package")
+	}
+}

@@ -1,0 +1,29 @@
+// Package fixallow exercises the aftvet:allow machinery: a justified
+// annotation suppresses, a malformed or unknown one is a finding, and
+// an annotation that suppresses nothing is flagged as stale.
+package fixallow
+
+import "time"
+
+// Allowed is exempted with a written reason; no finding survives.
+func Allowed() int64 {
+	//aftvet:allow determinism -- fixture: sanctioned wall-clock read demonstrating the escape hatch
+	return time.Now().UnixNano()
+}
+
+// Stale carries an annotation that suppresses nothing.
+//
+//aftvet:allow errclose -- fixture: nothing here drops an error // want: allow: unused aftvet:allow
+func Stale() {}
+
+// Unwritten lacks the mandatory reason, so the annotation is rejected
+// and suppresses nothing: the wall-clock finding below survives.
+func Unwritten() int64 {
+	//aftvet:allow determinism // want: allow: needs a written justification
+	return time.Now().UnixNano() // want: determinism: time.Now reads the wall clock
+}
+
+// Unknown names an analyzer that does not exist.
+//
+//aftvet:allow nosuch -- not a real analyzer // want: allow: unknown analyzer
+func Unknown() {}

@@ -1,0 +1,96 @@
+// Package fixdeterminism exercises the determinism analyzer: wall-clock
+// reads, math/rand, and map-order leaks, next to the guarded negatives
+// that must stay clean.
+package fixdeterminism
+
+import (
+	"fmt"
+	"math/rand" // want: determinism: import of math/rand
+	"sort"
+	"time"
+)
+
+// Wall reads the wall clock.
+func Wall() int64 {
+	return time.Now().UnixNano() // want: determinism: time.Now reads the wall clock
+}
+
+// Elapsed measures with the wall clock.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want: determinism: time.Since reads the wall clock
+}
+
+// Roll uses the forbidden global generator (the import is the finding).
+func Roll() int { return rand.Intn(6) }
+
+// LeakAppend accumulates keys in map order and never sorts.
+func LeakAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want: determinism: append under map iteration
+	}
+	return keys
+}
+
+// SortedKeys is the sanctioned sorted-keys guard: collect, sort, use.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// LeakPrint emits output in map order.
+func LeakPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want: determinism: fmt.Printf inside map iteration
+	}
+}
+
+// LeakFloat folds floating-point values in map order; float addition
+// does not commute.
+func LeakFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want: determinism: non-integer += under map iteration
+	}
+	return sum
+}
+
+// CountInts accumulates integers, which commutes, and is clean.
+func CountInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Transfer stores under the loop key — per-key and commutative — and
+// is clean.
+func Transfer(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// LeakLast keeps whichever key the runtime happens to visit last.
+func LeakLast(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want: determinism: assignment of a map-iteration value
+	}
+	return last
+}
+
+// Found sets an order-independent flag from loop-independent data and
+// is clean.
+func Found(m map[string]int) bool {
+	found := false
+	for range m {
+		found = true
+	}
+	return found
+}

@@ -1,0 +1,43 @@
+// Package fixerrclose exercises the errclose analyzer: dropped commit
+// errors in persistence paths, next to the accepted forms.
+package fixerrclose
+
+import (
+	"os"
+	"strings"
+)
+
+// DropClose drops the close error on the floor.
+func DropClose(f *os.File) {
+	f.Close() // want: errclose: Close error silently dropped
+}
+
+// DeferClose defers the close and drops its error.
+func DeferClose(f *os.File) {
+	defer f.Close() // want: errclose: deferred Close drops its error
+	_, _ = f.Write(nil)
+}
+
+// DropSync drops a sync error — the bytes may never have hit disk.
+func DropSync(f *os.File) {
+	f.Sync() // want: errclose: Sync error silently dropped
+}
+
+// ExplicitDiscard makes the drop visible in the code and is accepted.
+func ExplicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+// Handled checks every commit error and is clean.
+func Handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// InMemory writes to a builder that never returns an error and is
+// clean.
+func InMemory(b *strings.Builder) {
+	b.WriteString("x")
+}

@@ -1,0 +1,52 @@
+// Package fixlockcopy exercises the lockcopy analyzer: methods on
+// mutex-guarded structs must not hand out interior references to the
+// guarded collections.
+package fixlockcopy
+
+import "sync"
+
+// Guarded owns a mutex and the collections it protects.
+type Guarded struct {
+	mu    sync.Mutex
+	items map[string]int
+	order []string
+	n     int
+}
+
+// Items leaks the guarded map header.
+func (g *Guarded) Items() map[string]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.items // want: lockcopy: interior reference to mutex-guarded state
+}
+
+// Order leaks the guarded slice header without even locking.
+func (g *Guarded) Order() []string {
+	return g.order // want: lockcopy: interior reference to mutex-guarded state
+}
+
+// ItemsCopy returns a copy built under the lock and is clean.
+func (g *Guarded) ItemsCopy() map[string]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]int, len(g.items))
+	for k, v := range g.items {
+		out[k] = v
+	}
+	return out
+}
+
+// N returns a scalar, which aliases nothing, and is clean.
+func (g *Guarded) N() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Unguarded has no mutex; returning its fields breaks no lock.
+type Unguarded struct {
+	items map[string]int
+}
+
+// Items is clean: there is no lock to bypass.
+func (u Unguarded) Items() map[string]int { return u.items }

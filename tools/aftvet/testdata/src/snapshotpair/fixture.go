@@ -1,0 +1,50 @@
+// Package fixsnapshotpair exercises the snapshotpair analyzer: state
+// exporters and restorers must come in pairs, method-level or via a
+// package-level Restore constructor.
+package fixsnapshotpair
+
+// PairState is the exported state blob the fixtures trade in.
+type PairState struct{ N int }
+
+// Paired has both sides and is clean.
+type Paired struct{ n int }
+
+// ExportState hands the state out.
+func (p *Paired) ExportState() PairState { return PairState{N: p.n} }
+
+// RestoreState takes it back.
+func (p *Paired) RestoreState(st PairState) error { p.n = st.N; return nil }
+
+// ExportOnly can snapshot but never take the state back.
+type ExportOnly struct{ n int } // want: snapshotpair: type ExportOnly exports state
+
+// Snapshot hands the state out with no way home.
+func (e *ExportOnly) Snapshot() PairState { return PairState{N: e.n} }
+
+// RestoreOnly accepts state no snapshot can produce.
+type RestoreOnly struct{ n int } // want: snapshotpair: type RestoreOnly restores state
+
+// SetState takes state in.
+func (r *RestoreOnly) SetState(st PairState) { r.n = st.N }
+
+// FuncRestored pairs a Snapshot method with a package-level
+// constructor, the experiments.RestoreCampaign shape, and is clean.
+type FuncRestored struct{ n int }
+
+// Snapshot hands the state out.
+func (f *FuncRestored) Snapshot() PairState { return PairState{N: f.n} }
+
+// RestoreFuncRestored rebuilds the type from its snapshot.
+func RestoreFuncRestored(st PairState) *FuncRestored { return &FuncRestored{n: st.N} }
+
+// Plain holds no checkpointable state and is clean.
+type Plain struct{ n int }
+
+// Value is an ordinary accessor.
+func (p Plain) Value() int { return p.n }
+
+// Stepper is an interface; the contract binds concrete state holders
+// only, so it is clean even though it names an export method.
+type Stepper interface {
+	State() PairState
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or nil for builtins, conversions, and calls of function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isBuiltin reports whether a call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// returnsError reports whether the function's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// namedOf unwraps pointers and returns the named type, if any.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isSyncLock reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// mentionsObject reports whether any identifier under n resolves to one
+// of the given objects.
+func mentionsObject(info *types.Info, n ast.Node, objs map[types.Object]bool) bool {
+	if n == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := node.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// declaration or literal containing pos.
+func enclosingFuncBody(f *ast.File, pos ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body != nil && body.Pos() <= pos.Pos() && pos.End() <= body.End() {
+			best = body // innermost wins: Inspect descends outside-in
+		}
+		return true
+	})
+	return best
+}

@@ -1,6 +1,6 @@
 // Command doclint is the repository's documentation gate, run by CI.
 //
-// It enforces three rules over the module's non-test Go files:
+// It enforces four rules over the module's non-test Go files:
 //
 //  1. every package — including main packages under cmd/ and examples/
 //     — has a package doc comment on its package clause;
@@ -12,7 +12,11 @@
 //     close with terminal punctuation (a tab-indented final block —
 //     usage text, protocol examples — is a deliberate ending and is
 //     exempt). A comment trailing off in a half-written list or clause
-//     is documentation debt pretending to be documentation.
+//     is documentation debt pretending to be documentation;
+//  4. every //aftvet:allow annotation (the static-analysis escape hatch,
+//     see tools/aftvet) carries a written justification after " -- ". An
+//     exemption without a reason is indistinguishable from a silenced
+//     bug.
 //
 // Violations are printed one per line as file:line: message, and the
 // command exits non-zero if any exist, so CI fails when documentation
@@ -122,6 +126,7 @@ func lintPackage(rel string, files []string) []string {
 		if strictExports(rel) {
 			problems = append(problems, lintExports(fset, f)...)
 		}
+		problems = append(problems, lintAllowAnnotations(fset, f)...)
 	}
 	if !hasPackageDoc && len(files) > 0 {
 		problems = append(problems, fmt.Sprintf("%s: package %s has no package doc comment", files[0], rel))
@@ -152,6 +157,32 @@ func docEndsMidSentence(doc string) bool {
 			!strings.HasSuffix(line, "?")
 	}
 	return true // a blank package comment communicates nothing
+}
+
+// lintAllowAnnotations checks rule 4: every aftvet:allow annotation in
+// the file names an analyzer and justifies the exemption after " -- ".
+// The full semantic validation (known analyzer, annotation actually
+// suppresses something) lives in tools/aftvet; this rule keeps the
+// written-reason requirement enforced even in packages aftvet does not
+// analyze.
+func lintAllowAnnotations(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "aftvet:allow") {
+				continue
+			}
+			body := strings.TrimSpace(strings.TrimPrefix(text, "aftvet:allow"))
+			name, reason, ok := strings.Cut(body, "--")
+			if !ok || strings.TrimSpace(name) == "" || strings.TrimSpace(reason) == "" {
+				problems = append(problems, fmt.Sprintf(
+					"%s: aftvet:allow without a written reason (want //aftvet:allow <analyzer> -- <reason>)",
+					fset.Position(c.Pos())))
+			}
+		}
+	}
+	return problems
 }
 
 // receiverExported reports whether a method receiver names an exported

@@ -144,6 +144,53 @@ package usage
 	}
 }
 
+// TestLintAllowAnnotations exercises rule 4: an aftvet:allow annotation
+// without a written reason is flagged wherever it appears, while the
+// full form passes.
+func TestLintAllowAnnotations(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "internal/exempt/exempt.go", `// Package exempt carries a justified exemption.
+package exempt
+
+// Sanctioned is exempt for a written reason.
+//
+//aftvet:allow determinism -- replay timestamps come from the transcript, not the wall clock
+func Sanctioned() {}
+`)
+	write(t, dir, "internal/naked/naked.go", `// Package naked silences an analyzer with no explanation.
+package naked
+
+// Quiet hides a finding.
+//
+//aftvet:allow determinism
+func Quiet() {}
+`)
+	write(t, dir, "cmd/tool/main.go", `// Command tool shows rule 4 applies outside library packages too.
+package main
+
+func main() {
+	//aftvet:allow errclose --
+}
+`)
+
+	problems, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	if strings.Contains(joined, "exempt.go") {
+		t.Errorf("false positive on justified annotation:\n%s", joined)
+	}
+	for _, want := range []string{"naked.go", "cmd/tool"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("reasonless annotation in %s not flagged:\n%s", want, joined)
+		}
+	}
+	if n := strings.Count(joined, "without a written reason"); n != 2 {
+		t.Errorf("got %d rule-4 findings, want 2:\n%s", n, joined)
+	}
+}
+
 // TestDocEndsMidSentence pins the line-level classifier.
 func TestDocEndsMidSentence(t *testing.T) {
 	tests := []struct {
