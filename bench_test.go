@@ -399,6 +399,59 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchStep measures one lockstep round of the batch campaign
+// engine at several widths, reporting ns/lane-round — directly
+// comparable with BenchmarkAdaptiveRound's ns/op (one scalar fused
+// round). The wider variants amortize the per-round loop overhead and
+// keep each lane's SoA state hot; all widths must report 0 allocs/op
+// (also gated by TestBatchStepZeroAlloc).
+func BenchmarkBatchStep(b *testing.B) {
+	for _, width := range []int{1, 8, 32, 64} {
+		b.Run(fmt.Sprintf("w%d", width), func(b *testing.B) {
+			cfg := experiments.DefaultFig7Config(int64(b.N) + 1_000_000)
+			bc, err := experiments.NewBatchCampaign(cfg, xrand.Seeds(1906, width))
+			if err != nil {
+				b.Fatal(err)
+			}
+			bc.Run(1000) // steady state
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bc.Step()
+			}
+			b.StopTimer()
+			elapsed := b.Elapsed()
+			b.ReportMetric(float64(elapsed.Nanoseconds())/float64(b.N)/float64(width), "ns/lane-round")
+		})
+	}
+}
+
+// BenchmarkBatchParallel measures RunBatchParallel end to end — 32
+// Fig. 7-style lanes of 100k rounds sharded across the pool — at
+// several worker counts, reporting aggregate lane-rounds per second.
+// On a multi-core host the rounds/sec metric scales with cores on top
+// of the batch engine's single-core gain (cmd/aft-bench -fig benchbatch
+// records the full cores × width grid in BENCH_trajectory.json).
+func BenchmarkBatchParallel(b *testing.B) {
+	const lanes, steps = 32, 100_000
+	cfg := experiments.DefaultFig7Config(steps)
+	seeds := xrand.Seeds(1906, lanes)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunBatchParallel(cfg, seeds, 0, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			roundsSec := float64(lanes*steps) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(roundsSec, "rounds/sec")
+		})
+	}
+}
+
 // BenchmarkSchedulerThroughput measures discrete-event scheduling, the
 // substrate under the Fig. 4 scenario.
 func BenchmarkSchedulerThroughput(b *testing.B) {

@@ -296,8 +296,46 @@ func e8Setup(steps int64) (int64, StormConfig) {
 	return steps, storms
 }
 
+// e8Cfg is the shared configuration of the E8 lanes (policy is
+// per-lane; see e8Lanes).
+func e8Cfg(steps int64, storms StormConfig) AdaptiveRunConfig {
+	return AdaptiveRunConfig{Steps: steps, Policy: redundancy.DefaultPolicy(), Storms: storms}
+}
+
+// e8Lanes builds one batch lane per E8 contender: the fixed organs are
+// policies with Min == Max == n (the controller can never resize, and
+// Policy.Decide consumes no randomness, so the lane's transcript equals
+// the bare-farm run of runFixed), the last lane is the autonomic
+// default policy. All lanes share the seed — the contenders race on the
+// same disturbance regime.
+func e8Lanes(seed uint64) []BatchLane {
+	lanes := make([]BatchLane, 0, len(e8FixedSizes)+1)
+	for _, n := range e8FixedSizes {
+		lanes = append(lanes, BatchLane{Seed: seed, Policy: redundancy.Policy{
+			Min: n, Max: n, CriticalDTOF: 1, Step: 2, LowerAfter: 1000,
+		}})
+	}
+	return append(lanes, BatchLane{Seed: seed, Policy: redundancy.DefaultPolicy()})
+}
+
+// e8RowFrom folds lane i's campaign result into its E8 row.
+func e8RowFrom(i int, res AdaptiveRunResult) E8Row {
+	strategy := "autonomic"
+	if i < len(e8FixedSizes) {
+		strategy = fmt.Sprintf("fixed n=%d", e8FixedSizes[i])
+	}
+	return E8Row{
+		Strategy:      strategy,
+		Failures:      res.Failures,
+		ReplicaRounds: res.ReplicaRounds,
+		AvgRedundancy: float64(res.ReplicaRounds) / float64(res.Rounds),
+	}
+}
+
 // e8Autonomic runs the adaptive contender; like runFixed, it is an
-// independent trial seeded from scratch.
+// independent trial seeded from scratch. It survives, with runFixed, as
+// the scalar differential oracle the batch-engine E8 rows are tested
+// against.
 func e8Autonomic(steps int64, seed uint64, storms StormConfig) (E8Row, error) {
 	res, err := RunAdaptive(AdaptiveRunConfig{
 		Steps:  steps,

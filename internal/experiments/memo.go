@@ -83,6 +83,40 @@ func cellKey(kind string, params any) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// memoProbe looks a cell up, counting a hit or a miss. The bool
+// reports whether the cached value was served; an unreadable or corrupt
+// entry is a miss, never an error.
+func memoProbe[T any](c *SweepCache, kind string, params any) (T, bool, error) {
+	var zero T
+	key, err := cellKey(kind, params)
+	if err != nil {
+		return zero, false, err
+	}
+	if data, err := os.ReadFile(filepath.Join(c.dir, key+".json")); err == nil {
+		var cached T
+		if json.Unmarshal(data, &cached) == nil {
+			c.hits.Add(1)
+			return cached, true, nil
+		}
+		// Unreadable entry: fall through and recompute.
+	}
+	c.misses.Add(1)
+	return zero, false, nil
+}
+
+// memoStore writes a computed cell under its content address.
+func memoStore[T any](c *SweepCache, kind string, params any, v T) error {
+	key, err := cellKey(kind, params)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return checkpoint.WriteFileAtomic(filepath.Join(c.dir, key+".json"), data)
+}
+
 // memoCell returns the cached value for (kind, params) or computes and
 // stores it. Concurrent computations of the same cell are benign: both
 // compute the same value and the atomic rename keeps the file whole.
@@ -91,29 +125,14 @@ func memoCell[T any](c *SweepCache, kind string, params any, compute func() (T, 
 		return compute()
 	}
 	var zero T
-	key, err := cellKey(kind, params)
-	if err != nil {
-		return zero, err
+	if v, ok, err := memoProbe[T](c, kind, params); err != nil || ok {
+		return v, err
 	}
-	path := filepath.Join(c.dir, key+".json")
-	if data, err := os.ReadFile(path); err == nil {
-		var cached T
-		if json.Unmarshal(data, &cached) == nil {
-			c.hits.Add(1)
-			return cached, nil
-		}
-		// Unreadable entry: fall through and recompute.
-	}
-	c.misses.Add(1)
 	v, err := compute()
 	if err != nil {
 		return zero, err
 	}
-	data, err := json.Marshal(v)
-	if err != nil {
-		return zero, err
-	}
-	if err := checkpoint.WriteFileAtomic(path, data); err != nil {
+	if err := memoStore(c, kind, params, v); err != nil {
 		return zero, err
 	}
 	return v, nil
@@ -130,23 +149,52 @@ type e8CellParams struct {
 }
 
 // RunE8ParallelCached is RunE8Parallel with per-cell memoization:
-// already-computed cells are served from the cache, fresh ones are
-// computed (in parallel) and stored. A nil cache degenerates to
-// RunE8Parallel.
+// already-computed cells are served from the cache, and the fresh ones
+// run together as lanes of one lockstep batch before being stored. A
+// nil cache degenerates to RunE8Parallel.
 func RunE8ParallelCached(steps int64, seed uint64, workers int, cache *SweepCache) ([]E8Row, error) {
+	if cache == nil {
+		return RunE8Parallel(steps, seed, workers)
+	}
 	steps, storms := e8Setup(steps)
-	return RunParallel(len(e8FixedSizes)+1, workers, func(i int) (E8Row, error) {
+	params := func(i int) e8CellParams {
 		p := e8CellParams{Steps: steps, Seed: seed, Storms: storms}
 		if i < len(e8FixedSizes) {
 			p.Fixed = e8FixedSizes[i]
-			return memoCell(cache, "e8", p, func() (E8Row, error) {
-				return runFixed(steps, seed, p.Fixed, storms)
-			})
 		}
-		return memoCell(cache, "e8", p, func() (E8Row, error) {
-			return e8Autonomic(steps, seed, storms)
-		})
-	})
+		return p
+	}
+	lanes := e8Lanes(seed)
+	rows := make([]E8Row, len(lanes))
+	var missing []int
+	for i := range rows {
+		row, ok, err := memoProbe[E8Row](cache, "e8", params(i))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rows[i] = row
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) > 0 {
+		fresh := make([]BatchLane, len(missing))
+		for j, i := range missing {
+			fresh[j] = lanes[i]
+		}
+		results, err := runLanesParallel(e8Cfg(steps, storms), fresh, 0, workers)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range missing {
+			rows[i] = e8RowFrom(i, results[j])
+			if err := memoStore(cache, "e8", params(i), rows[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
 }
 
 // e9CellParams is the complete input set of one E9 cell.
@@ -185,13 +233,45 @@ type e10CellParams struct {
 	LowerAfter int
 }
 
-// RunE10ParallelCached is RunE10Parallel with per-cell memoization.
+// RunE10ParallelCached is RunE10Parallel with per-cell memoization:
+// cached LowerAfter settings are served directly, the rest run together
+// as lanes of one lockstep batch. A nil cache degenerates to
+// RunE10Parallel.
 func RunE10ParallelCached(steps int64, seed uint64, lowerAfters []int, workers int, cache *SweepCache) ([]E10Row, error) {
+	if cache == nil {
+		return RunE10Parallel(steps, seed, lowerAfters, workers)
+	}
 	steps, lowerAfters, storms := e10Setup(steps, lowerAfters)
-	return RunParallel(len(lowerAfters), workers, func(i int) (E10Row, error) {
-		p := e10CellParams{Steps: steps, Seed: seed, Storms: storms, LowerAfter: lowerAfters[i]}
-		return memoCell(cache, "e10", p, func() (E10Row, error) {
-			return e10Row(steps, seed, storms, lowerAfters[i])
-		})
-	})
+	rows := make([]E10Row, len(lowerAfters))
+	var missing []int
+	for i, la := range lowerAfters {
+		p := e10CellParams{Steps: steps, Seed: seed, Storms: storms, LowerAfter: la}
+		row, ok, err := memoProbe[E10Row](cache, "e10", p)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rows[i] = row
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) > 0 {
+		fresh := make([]int, len(missing))
+		for j, i := range missing {
+			fresh[j] = lowerAfters[i]
+		}
+		results, err := runLanesParallel(e10Cfg(steps, storms), e10Lanes(seed, fresh), 0, workers)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range missing {
+			rows[i] = e10RowFrom(lowerAfters[i], results[j])
+			p := e10CellParams{Steps: steps, Seed: seed, Storms: storms, LowerAfter: lowerAfters[i]}
+			if err := memoStore(cache, "e10", p, rows[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
 }

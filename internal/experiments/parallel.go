@@ -91,7 +91,10 @@ func RunParallel[T any](n, workers int, task func(i int) (T, error)) ([]T, error
 
 // RunE9Parallel evaluates the E9 alpha-count grid across the pool. The
 // rows are identical to RunE9's for any worker count, because each cell
-// seeds its own generator from cfg.Seed.
+// seeds its own generator from cfg.Seed. Unlike E8/E10, the E9 cells
+// are alpha-count trace sweeps, not campaign rounds — there is no
+// lockstep round loop to batch — so this sweep stays on the plain
+// worker pool rather than the lane engine.
 func RunE9Parallel(cfg E9Config, workers int) ([]E9Row, error) {
 	if err := e9Validate(cfg); err != nil {
 		return nil, err
@@ -102,37 +105,50 @@ func RunE9Parallel(cfg E9Config, workers int) ([]E9Row, error) {
 	})
 }
 
-// RunE10Parallel evaluates the E10 hysteresis sweep across the pool,
-// producing the same rows as RunE10.
+// RunE10Parallel evaluates the E10 hysteresis sweep on the batch
+// engine: one lane per LowerAfter setting (same seed, varying policy),
+// stepped in lockstep and sharded across the pool. The rows are
+// identical to the scalar per-cell runs (e10Row) for any worker count
+// or batch width.
 func RunE10Parallel(steps int64, seed uint64, lowerAfters []int, workers int) ([]E10Row, error) {
 	steps, lowerAfters, storms := e10Setup(steps, lowerAfters)
-	return RunParallel(len(lowerAfters), workers, func(i int) (E10Row, error) {
-		return e10Row(steps, seed, storms, lowerAfters[i])
-	})
+	results, err := runLanesParallel(e10Cfg(steps, storms), e10Lanes(seed, lowerAfters), 0, workers)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]E10Row, len(results))
+	for i, res := range results {
+		rows[i] = e10RowFrom(lowerAfters[i], res)
+	}
+	return rows, nil
 }
 
 // RunE8Parallel evaluates the E8 dimensioning contenders (four fixed
-// organs plus the autonomic controller) across the pool, producing the
-// same rows as RunE8.
+// organs plus the autonomic controller) on the batch engine: every
+// contender is one lane — a fixed organ is a policy with Min == Max, so
+// it can never resize — stepped in lockstep. The rows are identical to
+// the scalar per-cell runs (runFixed, e8Autonomic), which survive as
+// the differential oracles in the tests.
 func RunE8Parallel(steps int64, seed uint64, workers int) ([]E8Row, error) {
 	steps, storms := e8Setup(steps)
-	return RunParallel(len(e8FixedSizes)+1, workers, func(i int) (E8Row, error) {
-		if i < len(e8FixedSizes) {
-			return runFixed(steps, seed, e8FixedSizes[i], storms)
-		}
-		return e8Autonomic(steps, seed, storms)
-	})
+	results, err := runLanesParallel(e8Cfg(steps, storms), e8Lanes(seed), 0, workers)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]E8Row, len(results))
+	for i, res := range results {
+		rows[i] = e8RowFrom(i, res)
+	}
+	return rows, nil
 }
 
-// SweepSeeds runs the same adaptive configuration once per seed across
-// the pool — the independent-replica dimension of a Fig. 7-style
-// campaign. Result i always corresponds to seeds[i].
+// SweepSeeds runs the same adaptive configuration once per seed — the
+// independent-replica dimension of a Fig. 7-style campaign — on the
+// batch engine, slicing the seeds into lockstep batches sharded across
+// the pool. Result i always corresponds to seeds[i] and is identical to
+// RunAdaptive with that seed.
 func SweepSeeds(cfg AdaptiveRunConfig, seeds []uint64, workers int) ([]AdaptiveRunResult, error) {
-	return RunParallel(len(seeds), workers, func(i int) (AdaptiveRunResult, error) {
-		c := cfg
-		c.Seed = seeds[i]
-		return RunAdaptive(c)
-	})
+	return RunBatchParallel(cfg, seeds, 0, workers)
 }
 
 // SweepReplicas runs n replicas of the same adaptive configuration with

@@ -45,6 +45,7 @@ const campaignSnapshotVersion = 1
 const (
 	engineFused     = "fused"
 	engineReference = "reference"
+	engineBatch     = "batch"
 )
 
 // envKind bytes of the "env" section.

@@ -195,7 +195,39 @@ func e10Setup(steps int64, lowerAfters []int) (int64, []int, StormConfig) {
 	return steps, lowerAfters, storms
 }
 
-// e10Row measures one LowerAfter setting; rows are independent runs.
+// e10Cfg is the shared configuration of the E10 lanes (policy is
+// per-lane; see e10Lanes).
+func e10Cfg(steps int64, storms StormConfig) AdaptiveRunConfig {
+	return AdaptiveRunConfig{Steps: steps, Policy: redundancy.DefaultPolicy(), Storms: storms}
+}
+
+// e10Lanes builds one batch lane per LowerAfter setting: same seed,
+// default policy with the hysteresis knob varied — the whole sweep runs
+// as one lockstep batch.
+func e10Lanes(seed uint64, lowerAfters []int) []BatchLane {
+	lanes := make([]BatchLane, len(lowerAfters))
+	for i, la := range lowerAfters {
+		policy := redundancy.DefaultPolicy()
+		policy.LowerAfter = la
+		lanes[i] = BatchLane{Seed: seed, Policy: policy}
+	}
+	return lanes
+}
+
+// e10RowFrom folds one lane's campaign result into its E10 row.
+func e10RowFrom(la int, res AdaptiveRunResult) E10Row {
+	return E10Row{
+		LowerAfter:    la,
+		Failures:      res.Failures,
+		AvgRedundancy: float64(res.ReplicaRounds) / float64(res.Rounds),
+		Resizes:       res.Raises + res.Lowers,
+		MinFraction:   res.MinFraction,
+	}
+}
+
+// e10Row measures one LowerAfter setting; rows are independent runs. It
+// survives as the scalar differential oracle the batch-engine E10 rows
+// are tested against.
 func e10Row(steps int64, seed uint64, storms StormConfig, la int) (E10Row, error) {
 	policy := redundancy.DefaultPolicy()
 	policy.LowerAfter = la

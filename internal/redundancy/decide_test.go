@@ -1,0 +1,50 @@
+package redundancy
+
+import (
+	"testing"
+
+	"aft/internal/voting"
+	"aft/internal/xrand"
+)
+
+// TestDecideMatchesObserve drives a Controller and the pure
+// Policy.Decide function through the same randomized outcome stream and
+// checks they agree on every transition — Decide is the batch engine's
+// per-lane controller step, so any drift between the two would break
+// lane equivalence silently.
+func TestDecideMatchesObserve(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 200; trial++ {
+		p := Policy{
+			Min:          3 + 2*int(rng.Intn(3)),
+			Max:          9 + 2*int(rng.Intn(3)),
+			CriticalDTOF: int(rng.Intn(3)),
+			Step:         2 + 2*int(rng.Intn(2)),
+			LowerAfter:   1 + int(rng.Intn(20)),
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid policy %+v: %v", trial, p, err)
+		}
+		c, err := NewController(p, p.Min)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, quiet := p.Min, 0
+		for step := 0; step < 500; step++ {
+			dissent := int(rng.Intn(n + 1))
+			o := voting.Outcome{N: n, Dissent: dissent}
+			if o.HasMajority = dissent <= n/2; o.HasMajority {
+				o.DTOF = voting.DTOF(n, dissent)
+			}
+			dir, resized := c.Observe(o)
+			var wantDir Direction
+			n, quiet, wantDir = p.Decide(n, quiet, o.DTOF, o.Dissent)
+			if dir != wantDir || resized != (wantDir != 0) {
+				t.Fatalf("trial %d step %d: Observe returned (%d,%v), Decide %d", trial, step, dir, resized, wantDir)
+			}
+			if c.N() != n {
+				t.Fatalf("trial %d step %d: controller at n=%d, Decide at n=%d", trial, step, c.N(), n)
+			}
+		}
+	}
+}

@@ -139,38 +139,53 @@ func (c *Controller) adopt(n int) {
 // Observe feeds one voting outcome. It returns the direction of a
 // resize request when one is issued, or 0 when the dimensioning stands.
 func (c *Controller) Observe(o voting.Outcome) (Direction, bool) {
-	if o.DTOF <= c.policy.CriticalDTOF {
-		// Critically close to failure: ask for more redundancy.
-		c.quiet = 0
-		if c.n < c.policy.Max {
-			c.n += c.policy.Step
-			if c.n > c.policy.Max {
-				c.n = c.policy.Max
-			}
-			c.raises++
-			return Raise, true
-		}
-		return 0, false
+	n, quiet, dir := c.policy.Decide(c.n, c.quiet, o.DTOF, o.Dissent)
+	c.n, c.quiet = n, quiet
+	switch dir {
+	case Raise:
+		c.raises++
+	case Lower:
+		c.lowers++
 	}
-	if o.Dissent == 0 {
+	return dir, dir != 0
+}
+
+// Decide is the dtof policy as a pure function: given the current
+// dimensioning n, the quiet streak, and a round's dtof and dissent, it
+// returns the next dimensioning, the next streak, and the direction of
+// the resize request issued (0 when the dimensioning stands). It is the
+// single decision kernel shared by Controller.Observe and the batch
+// campaign engine's lane loop, which carries n and quiet in flat
+// per-lane slices and cannot afford a controller object per lane.
+func (p Policy) Decide(n, quiet, dtof, dissent int) (newN, newQuiet int, dir Direction) {
+	if dtof <= p.CriticalDTOF {
+		// Critically close to failure: ask for more redundancy.
+		if n < p.Max {
+			n += p.Step
+			if n > p.Max {
+				n = p.Max
+			}
+			return n, 0, Raise
+		}
+		return n, 0, 0
+	}
+	if dissent == 0 {
 		// Full consensus: the paper's "dtof is high".
-		c.quiet++
-		if c.quiet >= c.policy.LowerAfter {
-			c.quiet = 0
-			if c.n > c.policy.Min {
-				c.n -= c.policy.Step
-				if c.n < c.policy.Min {
-					c.n = c.policy.Min
+		quiet++
+		if quiet >= p.LowerAfter {
+			quiet = 0
+			if n > p.Min {
+				n -= p.Step
+				if n < p.Min {
+					n = p.Min
 				}
-				c.lowers++
-				return Lower, true
+				return n, 0, Lower
 			}
 		}
-		return 0, false
+		return n, quiet, 0
 	}
 	// Some dissent, but not critical: reset the quiet streak.
-	c.quiet = 0
-	return 0, false
+	return n, 0, 0
 }
 
 // --- Secure resize messages -------------------------------------------

@@ -77,17 +77,49 @@ func (s *Switchboard) ExportState() SwitchboardState {
 	}
 }
 
-// RestoreState rewinds the switchboard, controller, and farm to a
-// previously exported state. The farm's dimensioning and the
-// controller's target must agree — a snapshot in which they differ is
-// corrupt, because Apply and Observe keep them in lock step.
-func (s *Switchboard) RestoreState(st SwitchboardState) error {
+// Validate checks an exported switchboard state against a policy
+// without needing a live Switchboard: the same integrity rules
+// RestoreState enforces (dimensioning inside the band and odd, quiet
+// streak inside [0, LowerAfter), farm and controller in agreement, sane
+// counters). The batch campaign engine, which carries switchboard state
+// in flat per-lane slices rather than Switchboard objects, runs lane
+// snapshots through this before adopting them.
+func (st SwitchboardState) Validate(p Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
 	if st.Resizes < 0 || st.Rejected < 0 {
 		return fmt.Errorf("redundancy: negative restored message counters")
 	}
 	if st.Farm.Replicas != st.Controller.N {
 		return fmt.Errorf("redundancy: restored farm size %d disagrees with controller target %d",
 			st.Farm.Replicas, st.Controller.N)
+	}
+	if st.Controller.N < p.Min || st.Controller.N > p.Max || st.Controller.N%2 == 0 {
+		return fmt.Errorf("redundancy: restored N %d outside policy band [%d,%d] or even",
+			st.Controller.N, p.Min, p.Max)
+	}
+	if st.Controller.Quiet < 0 || st.Controller.Quiet >= p.LowerAfter {
+		return fmt.Errorf("redundancy: restored quiet streak %d outside [0,%d)",
+			st.Controller.Quiet, p.LowerAfter)
+	}
+	if st.Controller.Raises < 0 || st.Controller.Lowers < 0 {
+		return fmt.Errorf("redundancy: negative restored decision counters")
+	}
+	if st.Farm.Rounds < 0 || st.Farm.Failures < 0 || st.Farm.Failures > st.Farm.Rounds {
+		return fmt.Errorf("voting: invalid farm counters: %d failures over %d rounds",
+			st.Farm.Failures, st.Farm.Rounds)
+	}
+	return nil
+}
+
+// RestoreState rewinds the switchboard, controller, and farm to a
+// previously exported state. The farm's dimensioning and the
+// controller's target must agree — a snapshot in which they differ is
+// corrupt, because Apply and Observe keep them in lock step.
+func (s *Switchboard) RestoreState(st SwitchboardState) error {
+	if err := st.Validate(s.ctrl.policy); err != nil {
+		return err
 	}
 	if err := s.ctrl.RestoreState(st.Controller); err != nil {
 		return err

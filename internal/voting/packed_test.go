@@ -1,0 +1,153 @@
+package voting
+
+import (
+	"math/bits"
+	"testing"
+
+	"aft/internal/xrand"
+)
+
+// materialize builds the ballot slice a packed round describes.
+func materialize(n int, golden uint64, dissent []uint64, vals []uint64) []uint64 {
+	votes := make([]uint64, n)
+	rank := 0
+	for i := 0; i < n; i++ {
+		if dissent[i>>6]&(uint64(1)<<uint(i&63)) != 0 {
+			votes[i] = vals[rank]
+			rank++
+		} else {
+			votes[i] = golden
+		}
+	}
+	return votes
+}
+
+// assertSameOutcome compares every field but Votes (the packed fast
+// paths never materialize a ballot slice).
+func assertSameOutcome(t *testing.T, got, want Outcome) {
+	t.Helper()
+	if got.N != want.N || got.HasMajority != want.HasMajority ||
+		got.Value != want.Value || got.Dissent != want.Dissent ||
+		got.DTOF != want.DTOF || got.Correct != want.Correct {
+		t.Fatalf("packed outcome %+v, scalar %+v", got, want)
+	}
+}
+
+// TestTallyWordsMatchesTallyRandomized drives TallyWords against the
+// scalar Tally over random organ sizes, dissent masks, and value
+// populations — including duplicate corrupt values, which is how a
+// non-golden value can win a majority.
+func TestTallyWordsMatchesTallyRandomized(t *testing.T) {
+	rng := xrand.New(0xbadc0de)
+	scratch := make([]uint64, 0, 128)
+	for trial := 0; trial < 20000; trial++ {
+		n := 1 + rng.Intn(100) // crosses the smallOrgan boundary and 64-bit word boundary
+		golden := rng.Uint64() & 7
+		words := make([]uint64, DissentWords(n))
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		// Count dissent over the first n bits only; garbage above n
+		// must be ignored by TallyWords.
+		d := 0
+		for i := 0; i < n; i++ {
+			if words[i>>6]&(uint64(1)<<uint(i&63)) != 0 {
+				d++
+			}
+		}
+		vals := make([]uint64, d)
+		for i := range vals {
+			// A tiny value domain forces duplicates and golden-vs-corrupt
+			// count ties.
+			v := rng.Uint64() & 7
+			if v == golden {
+				v ^= 1
+			}
+			vals[i] = v
+		}
+		got := TallyWords(n, golden, words, vals, scratch)
+		want := Tally(materialize(n, golden, words, vals), golden)
+		assertSameOutcome(t, got, want)
+	}
+}
+
+// TestTallyWordsFastPaths pins the two popcount-only outcomes.
+func TestTallyWordsFastPaths(t *testing.T) {
+	words := make([]uint64, 1)
+
+	SetFirstK(words, 0)
+	o := TallyWords(5, 42, words, nil, nil)
+	assertSameOutcome(t, o, Outcome{N: 5, HasMajority: true, Value: 42, Dissent: 0, DTOF: 3, Correct: true})
+	if o.Votes != nil {
+		t.Fatalf("unanimous fast path materialized ballots")
+	}
+
+	SetFirstK(words, 2)
+	o = TallyWords(5, 42, words, []uint64{7, 9}, nil)
+	assertSameOutcome(t, o, Outcome{N: 5, HasMajority: true, Value: 42, Dissent: 2, DTOF: 1, Correct: true})
+	if o.Votes != nil {
+		t.Fatalf("golden-majority fast path materialized ballots")
+	}
+}
+
+// TestTallyWordsFirstAppearanceTieBreak exercises the fallback where a
+// duplicated corrupt value ties or beats golden: the winner must match
+// the scalar tally's first-appearance/golden-preference rule exactly.
+func TestTallyWordsFirstAppearanceTieBreak(t *testing.T) {
+	words := []uint64{0}
+	// n=4 (even, direct Tally use): ballots [7 7 42 42] — tie at 2-2,
+	// golden (42) must win the tie despite appearing later.
+	SetFirstK(words, 2)
+	got := TallyWords(4, 42, words, []uint64{7, 7}, nil)
+	want := Tally([]uint64{7, 7, 42, 42}, 42)
+	assertSameOutcome(t, got, want)
+	if got.HasMajority {
+		t.Fatalf("2-of-4 is not a strict majority: %+v", got)
+	}
+
+	// n=3, corrupt pair outvotes golden: wrong majority, a failed round.
+	SetFirstK(words, 2)
+	got = TallyWords(3, 42, words, []uint64{7, 7}, nil)
+	want = Tally([]uint64{7, 7, 42}, 42)
+	assertSameOutcome(t, got, want)
+	if !got.HasMajority || got.Correct || got.Value != 7 {
+		t.Fatalf("corrupt majority misjudged: %+v", got)
+	}
+}
+
+// TestTallyWordsScratchReuse verifies the fallback writes into the
+// caller's scratch buffer when it is large enough (the batch engine's
+// zero-allocation contract) and allocates only when it is not.
+func TestTallyWordsScratchReuse(t *testing.T) {
+	words := []uint64{0}
+	SetFirstK(words, 3)
+	scratch := make([]uint64, 8)
+	vals := []uint64{7, 7, 7}
+	o := TallyWords(3, 42, words, vals, scratch)
+	if &o.Votes[0] != &scratch[0] {
+		t.Fatalf("fallback did not reuse scratch")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		TallyWords(3, 42, words, vals, scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("TallyWords with adequate scratch allocates %v/op", allocs)
+	}
+}
+
+// TestSetFirstK pins the packing of the storm corruption pattern.
+func TestSetFirstK(t *testing.T) {
+	words := make([]uint64, 2)
+	SetFirstK(words, 70)
+	if words[0] != ^uint64(0) || bits.OnesCount64(words[1]) != 6 || words[1] != (1<<6)-1 {
+		t.Fatalf("SetFirstK(70) = %x", words)
+	}
+	SetFirstK(words, 0)
+	if words[0] != 0 || words[1] != 0 {
+		t.Fatalf("SetFirstK(0) left bits: %x", words)
+	}
+	SetFirstK(words, 1000) // clamped to capacity
+	if words[0] != ^uint64(0) || words[1] != ^uint64(0) {
+		t.Fatalf("SetFirstK(clamped) = %x", words)
+	}
+}

@@ -13,7 +13,7 @@ import (
 var fixtureLoader = sync.OnceValues(func() (*loader, error) {
 	return newLoader(
 		[]string{"./internal/checkpoint"},
-		[]string{"fmt", "math/rand", "os", "sort", "strings", "sync", "time"},
+		[]string{"fmt", "math/bits", "math/rand", "os", "sort", "strings", "sync", "time"},
 	)
 })
 
@@ -123,4 +123,8 @@ func TestLockCopyFixture(t *testing.T) {
 
 func TestAllowFixture(t *testing.T) {
 	runFixture(t, "allow", "internal/experiments/fixallow")
+}
+
+func TestPackedTallyFixture(t *testing.T) {
+	runFixture(t, "packedtally", "internal/voting/fixpackedtally")
 }

@@ -1,0 +1,75 @@
+// Package fixpackedtally exercises the determinism analyzer on the two
+// ways to tally a packed ballot: the dirty shape — counting votes in a
+// map and electing the winner during map iteration, where ties resolve
+// in whatever order the runtime walks the buckets — and the clean shape
+// the voting package uses, a popcount over bit-packed dissent words
+// with first-appearance tie-breaking, which involves no map at all and
+// must stay finding-free.
+package fixpackedtally
+
+import "math/bits"
+
+// TallyMapOrder elects a majority value by walking a vote-count map.
+// Two values tied at the same count elect whichever the iteration
+// yields last — a different winner run to run for the same ballots.
+func TallyMapOrder(ballots []uint64) (winner uint64) {
+	counts := make(map[uint64]int)
+	for _, b := range ballots {
+		counts[b]++
+	}
+	best := -1
+	for v, c := range counts {
+		if c > best {
+			best = c   // want: determinism: assignment of a map-iteration value to state outside the loop
+			winner = v // want: determinism: assignment of a map-iteration value to state outside the loop
+		}
+	}
+	return winner
+}
+
+// TallyPacked is the sanctioned shape: dissent lives in bit-packed
+// words, the golden count is a popcount, and when golden holds a strict
+// majority no other value can tie it — no map, no iteration order.
+func TallyPacked(n int, golden uint64, dissent []uint64, vals []uint64) (uint64, bool) {
+	d := 0
+	for _, w := range dissent {
+		d += bits.OnesCount64(w)
+	}
+	if n-d > n/2 {
+		return golden, true
+	}
+	return tallyFirstAppearance(n, golden, d, vals)
+}
+
+// tallyFirstAppearance is the no-majority fallback: ballots are scanned
+// in replica order and ties break toward the earliest appearance —
+// deterministic by construction, because the order is the slice's.
+func tallyFirstAppearance(n int, golden uint64, d int, vals []uint64) (uint64, bool) {
+	ballots := make([]uint64, 0, n)
+	ballots = append(ballots, vals[:d]...)
+	for i := d; i < n; i++ {
+		ballots = append(ballots, golden)
+	}
+	winner, best := golden, 0
+	for i, v := range ballots {
+		count := 1
+		for j := 0; j < i; j++ {
+			if ballots[j] == v {
+				count = 0 // seen before: the first appearance owns the count
+				break
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if ballots[j] == v {
+				count++
+			}
+		}
+		if count > best {
+			winner, best = v, count
+		}
+	}
+	return winner, best > n/2
+}
