@@ -9,11 +9,19 @@
 // names the invariant and the simulated time), when -diff detects an
 // engine divergence, or on any usage error.
 //
+// With -gen N the command switches to fuzzing mode: it generates N
+// random specs from the corpus seed (internal/scenario/gen), checks
+// each one, optionally shrinks every failure to a minimal reproducer
+// (-shrink), writes the shrunk specs as JSON files (-shrink-out), and
+// exits non-zero if any spec failed. The corpus is a pure function of
+// -seed, so a failing run is reproducible bit for bit.
+//
 // Usage:
 //
 //	aft-chaos -list
 //	aft-chaos [-scenario name|file.json] [-seed N] [-invariants] [-diff]
 //	          [-quiet] [-print-spec] [-sabotage invariant]
+//	aft-chaos -gen N [-seed S] [-diff] [-shrink] [-shrink-out dir]
 //
 // -sabotage is a test-only hook that deliberately breaks the named
 // invariant mid-run, proving the checkers (and this command's exit
@@ -26,10 +34,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"aft/internal/cli"
 	"aft/internal/scenario"
+	"aft/internal/scenario/gen"
 )
 
 func main() {
@@ -48,8 +58,15 @@ func run(args []string, stdout io.Writer) error {
 	printSpec := fs.Bool("print-spec", false, "print the scenario spec as JSON (the -scenario file format) and exit")
 	sabotage := fs.String("sabotage", "", "test-only: deliberately violate the named invariant mid-run")
 	list := fs.Bool("list", false, "list builtin scenarios and exit")
+	genN := fs.Int("gen", 0, "fuzzing mode: generate and check this many random specs from -seed")
+	shrink := fs.Bool("shrink", false, "with -gen: minimize every failing spec to a reproducer")
+	shrinkOut := fs.String("shrink-out", "", "with -gen -shrink: write shrunk reproducer specs into this directory")
 	if done, err := cli.Parse(fs, args, stdout); done {
 		return err
+	}
+
+	if *genN > 0 {
+		return runGen(stdout, *genN, *seed, gen.Options{Diff: *diff, Shrink: *shrink || *shrinkOut != ""}, *shrinkOut)
 	}
 
 	if *list {
@@ -110,6 +127,38 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("%d invariant violation(s); first: %s", len(res.Violations), res.Violations[0])
 		}
 		fmt.Fprintf(stdout, "invariants: %d checks, all held\n", res.InvariantsChecked)
+	}
+	return nil
+}
+
+// runGen drives a fuzz campaign: generate, check, shrink, report. The
+// exit status is non-zero when any generated spec fails.
+func runGen(stdout io.Writer, n int, seed uint64, opt gen.Options, outDir string) error {
+	if seed == 0 {
+		seed = 1
+	}
+	rep := gen.Campaign(seed, n, opt)
+	for _, f := range rep.Findings {
+		fmt.Fprintf(stdout, "FAIL %s [%s]: %s\n", f.Spec.Name, f.Signature, f.Detail)
+		if f.Shrunk != nil {
+			data, err := f.Shrunk.Encode()
+			if err != nil {
+				return err
+			}
+			if outDir != "" {
+				path := filepath.Join(outDir, f.Spec.Name+".json")
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "  shrunk reproducer (%d evals) written to %s\n", f.ShrinkEvals, path)
+			} else {
+				fmt.Fprintf(stdout, "  shrunk reproducer (%d evals):\n%s", f.ShrinkEvals, data)
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "gen: seed=%d specs=%d findings=%d\n", rep.Seed, rep.Specs, len(rep.Findings))
+	if len(rep.Findings) > 0 {
+		return fmt.Errorf("gen: %d of %d generated specs failed", len(rep.Findings), rep.Specs)
 	}
 	return nil
 }

@@ -97,3 +97,26 @@ func TestRunPrintSpecRoundTrips(t *testing.T) {
 		t.Fatalf("-print-spec output does not Load: %v", err)
 	}
 }
+
+func TestRunGenClean(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "60", "-seed", "1", "-diff"}, &out); err != nil {
+		t.Fatalf("generated corpus seed 1 has findings: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "gen: seed=1 specs=60 findings=0") {
+		t.Fatalf("campaign summary missing:\n%s", out.String())
+	}
+}
+
+func TestRunGenDeterministicOutput(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-gen", "30", "-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-gen", "30", "-seed", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same-seed campaigns printed different reports")
+	}
+}

@@ -50,9 +50,13 @@ func identity(v uint64) uint64 { return v }
 // Campaign is the fused §3.3 hot loop. Construct with NewCampaign, drive
 // with Step (one voting round per call), and harvest with Result.
 type Campaign struct {
-	cfg  AdaptiveRunConfig
-	sb   *redundancy.Switchboard
-	env  CorruptionSource
+	cfg AdaptiveRunConfig
+	sb  *redundancy.Switchboard
+	env CorruptionSource
+	// fsrc is env when env implements FaultSource (scenario runs with
+	// colluding or partitioned rounds); nil for storm campaigns, whose
+	// hot path stays branch-for-branch what it was.
+	fsrc FaultSource
 	crng *xrand.Rand
 
 	// occ counts rounds by replica count; index ≤ Policy.Max because the
@@ -124,8 +128,14 @@ func (c *Campaign) Rounds() int64 { return c.step }
 // returned Outcome's Votes slice aliases the farm's reusable buffer and
 // is only valid until the next Step.
 func (c *Campaign) Step() voting.Outcome {
-	k := c.env.Corruptions(c.step)
-	o, _ := c.sb.StepFirstK(uint64(c.step), k, c.crng)
+	var o voting.Outcome
+	if c.fsrc != nil {
+		f := c.fsrc.Faults(c.step)
+		o, _ = c.sb.StepFaulty(uint64(c.step), f.Corruptions, f.Colluding, f.Partitioned, c.crng)
+	} else {
+		k := c.env.Corruptions(c.step)
+		o, _ = c.sb.StepFirstK(uint64(c.step), k, c.crng)
+	}
 	if c.red != nil && c.step%c.cfg.SampleEvery == 0 {
 		c.red.Append(c.step, float64(o.N))
 		c.dtof.Append(c.step, float64(o.DTOF))

@@ -26,9 +26,12 @@ import (
 // differential-testing oracle for the fused Campaign. Construct with
 // NewReferenceCampaign, drive with Step or Run, harvest with Result.
 type ReferenceCampaign struct {
-	cfg  AdaptiveRunConfig
-	sb   *redundancy.Switchboard
-	env  CorruptionSource
+	cfg AdaptiveRunConfig
+	sb  *redundancy.Switchboard
+	env CorruptionSource
+	// fsrc is env when env implements FaultSource, mirroring the fused
+	// engine: colluding/partitioned rounds route through StepFaultyRef.
+	fsrc FaultSource
 	crng *xrand.Rand
 
 	hist                          *metrics.IntHistogram
@@ -85,6 +88,7 @@ func NewReferenceCampaignWithSource(cfg AdaptiveRunConfig, src CorruptionSource)
 		crng: xrand.New(cfg.Seed).Split(),
 		hist: metrics.NewIntHistogram(),
 	}
+	rc.fsrc, _ = src.(FaultSource)
 	rc.newSeries()
 	return rc, nil
 }
@@ -118,13 +122,19 @@ func (rc *ReferenceCampaign) Config() AdaptiveRunConfig { return rc.cfg }
 // per-round corruption closure, a heap ballot slice through
 // Switchboard.Step, and a map histogram observation.
 func (rc *ReferenceCampaign) Step() voting.Outcome {
-	k := rc.env.Corruptions(rc.step)
-	var corrupted func(i int) bool
-	if k > 0 {
-		kk := k
-		corrupted = func(i int) bool { return i < kk }
+	var o voting.Outcome
+	if rc.fsrc != nil {
+		f := rc.fsrc.Faults(rc.step)
+		o, _ = rc.sb.StepFaultyRef(uint64(rc.step), f.Corruptions, f.Colluding, f.Partitioned, rc.crng)
+	} else {
+		k := rc.env.Corruptions(rc.step)
+		var corrupted func(i int) bool
+		if k > 0 {
+			kk := k
+			corrupted = func(i int) bool { return i < kk }
+		}
+		o, _ = rc.sb.Step(uint64(rc.step), corrupted, rc.crng)
 	}
-	o, _ := rc.sb.Step(uint64(rc.step), corrupted, rc.crng)
 	if rc.red != nil && rc.step%rc.cfg.SampleEvery == 0 {
 		rc.red.Append(rc.step, float64(o.N))
 		rc.dtof.Append(rc.step, float64(o.DTOF))

@@ -26,6 +26,34 @@ type CorruptionSource interface {
 	Corruptions(step int64) int
 }
 
+// StepFaults is one round's full fault environment, the superset of a
+// bare corruption count the chaos harness's generated scenarios need.
+type StepFaults struct {
+	// Corruptions is the number of replicas corrupted this round.
+	Corruptions int
+	// Colluding makes the corrupted replicas a Byzantine group voting
+	// one shared wrong value instead of failing independently.
+	Colluding bool
+	// Partitioned severs the organ↔controller link this round: the vote
+	// runs, but the controller never observes the outcome and no resize
+	// can be issued.
+	Partitioned bool
+}
+
+// FaultSource is a CorruptionSource that can additionally mark rounds
+// as colluding or partitioned. When a source passed to
+// NewCampaignWithSource or NewReferenceCampaignWithSource implements
+// FaultSource, the engine consults Faults instead of Corruptions —
+// exactly once per round, with strictly increasing step values — and
+// routes the round through redundancy.Switchboard.StepFaulty (fused) or
+// StepFaultyRef (reference). A source whose Faults never sets a flag
+// produces byte-identical transcripts to the plain CorruptionSource
+// path.
+type FaultSource interface {
+	CorruptionSource
+	Faults(step int64) StepFaults
+}
+
 // Corruptions implements CorruptionSource on the storm generator, so
 // the stock Fig. 6/7 environment is just one source among others.
 func (s *storms) Corruptions(step int64) int { return s.corruptions(step) }
@@ -63,6 +91,7 @@ func NewCampaignWithSource(cfg AdaptiveRunConfig, src CorruptionSource) (*Campai
 		crng: xrand.New(cfg.Seed).Split(),
 		occ:  make([]int64, cfg.Policy.Max+1),
 	}
+	c.fsrc, _ = src.(FaultSource)
 	c.newSeries()
 	return c, nil
 }

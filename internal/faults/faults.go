@@ -277,10 +277,29 @@ func (l *Latch) Repair() { l.tripped = false }
 func (l *Latch) Tripped() bool { return l.tripped }
 
 // ClassMix draws fault classes with the given probabilities, which must
-// sum to at most 1; the remainder is Transient.
+// sum to at most 1; the remainder is Transient. Call Validate before
+// the first Draw: a mix whose probabilities are negative or sum past 1
+// silently skews Draw (a negative PPermanent can never fire; a sum
+// past 1 starves Transient entirely).
 type ClassMix struct {
 	PIntermittent float64
 	PPermanent    float64
+}
+
+// Validate rejects mixes Draw cannot sample faithfully: each
+// probability must lie in [0,1] and together they must sum to at most
+// 1, so the Transient remainder is never negative.
+func (m ClassMix) Validate() error {
+	if m.PIntermittent < 0 || m.PIntermittent > 1 {
+		return fmt.Errorf("faults: intermittent probability %v outside [0,1]", m.PIntermittent)
+	}
+	if m.PPermanent < 0 || m.PPermanent > 1 {
+		return fmt.Errorf("faults: permanent probability %v outside [0,1]", m.PPermanent)
+	}
+	if sum := m.PIntermittent + m.PPermanent; sum > 1 {
+		return fmt.Errorf("faults: class probabilities sum to %v, must be at most 1", sum)
+	}
+	return nil
 }
 
 // Draw samples a fault class.

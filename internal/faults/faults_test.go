@@ -204,6 +204,9 @@ func TestLatch(t *testing.T) {
 func TestClassMixProportions(t *testing.T) {
 	rng := xrand.New(7)
 	mix := ClassMix{PIntermittent: 0.2, PPermanent: 0.1}
+	if err := mix.Validate(); err != nil {
+		t.Fatalf("valid mix rejected: %v", err)
+	}
 	const n = 100000
 	counts := map[Class]int{}
 	for i := 0; i < n; i++ {
@@ -223,9 +226,40 @@ func TestClassMixProportions(t *testing.T) {
 func TestClassMixAllTransient(t *testing.T) {
 	rng := xrand.New(8)
 	mix := ClassMix{}
+	if err := mix.Validate(); err != nil {
+		t.Fatalf("zero mix rejected: %v", err)
+	}
 	for i := 0; i < 100; i++ {
 		if got := mix.Draw(rng); got != Transient {
 			t.Fatalf("zero mix drew %v", got)
 		}
+	}
+}
+
+func TestClassMixValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mix  ClassMix
+		ok   bool
+	}{
+		{"zero", ClassMix{}, true},
+		{"typical", ClassMix{PIntermittent: 0.2, PPermanent: 0.1}, true},
+		{"sum-exactly-one", ClassMix{PIntermittent: 0.6, PPermanent: 0.4}, true},
+		{"negative-intermittent", ClassMix{PIntermittent: -0.1}, false},
+		{"negative-permanent", ClassMix{PPermanent: -0.1}, false},
+		{"intermittent-above-one", ClassMix{PIntermittent: 1.5}, false},
+		{"permanent-above-one", ClassMix{PPermanent: 1.5}, false},
+		{"sum-above-one", ClassMix{PIntermittent: 0.7, PPermanent: 0.7}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.mix.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("valid mix %+v rejected: %v", tc.mix, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("invalid mix %+v accepted", tc.mix)
+			}
+		})
 	}
 }

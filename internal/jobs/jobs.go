@@ -93,14 +93,18 @@ const specVersion = 1
 // SweepSpec selects one ablation grid. The zero values of the optional
 // knobs select the same defaults the aft-bench figures use.
 type SweepSpec struct {
-	// Grid is "e8", "e9", or "e10".
+	// Grid is "e8", "e9", "e10", or "chaos" (a generative fuzz
+	// campaign over random scenario specs, see internal/scenario/gen).
 	Grid string `json:"grid"`
 	// Steps scales the campaign-backed grids (e8, e10); 0 selects the
 	// full-scale default.
 	Steps int64 `json:"steps,omitempty"`
-	// Seed drives the grid's randomness (e8, e10); 0 means seed 1906,
-	// the figures' default.
+	// Seed drives the grid's randomness (e8, e10, chaos); 0 means seed
+	// 1906, the figures' default.
 	Seed uint64 `json:"seed,omitempty"`
+	// Count is the chaos grid's corpus size: how many specs to
+	// generate and check. Required (positive) when Grid is "chaos".
+	Count int `json:"count,omitempty"`
 	// LowerAfters overrides the e10 hysteresis points; empty selects
 	// the default sweep.
 	LowerAfters []int `json:"lower_afters,omitempty"`
@@ -173,8 +177,13 @@ func (s Spec) Validate() error {
 		switch s.Sweep.Grid {
 		case "e8", "e9", "e10":
 			return nil
+		case "chaos":
+			if s.Sweep.Count <= 0 {
+				return fmt.Errorf("jobs: chaos sweep Count %d must be positive", s.Sweep.Count)
+			}
+			return nil
 		default:
-			return fmt.Errorf("jobs: unknown sweep grid %q (want e8, e9, or e10)", s.Sweep.Grid)
+			return fmt.Errorf("jobs: unknown sweep grid %q (want e8, e9, e10, or chaos)", s.Sweep.Grid)
 		}
 	case KindScenario:
 		if s.Scenario == nil {

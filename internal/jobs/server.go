@@ -10,12 +10,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"aft/internal/experiments"
 	"aft/internal/metrics"
 	"aft/internal/scenario"
+	"aft/internal/scenario/gen"
 )
 
 // Options configures a Server.
@@ -754,6 +756,9 @@ func (s *Server) runSweep(j *job) {
 		if err == nil {
 			transcript, summary, cells = experiments.RenderE10(rows), rows, len(rows)
 		}
+	case "chaos":
+		rep := gen.Campaign(sweepSeed(sw.Seed), sw.Count, gen.Options{Diff: true, Shrink: true})
+		transcript, summary, cells = renderChaos(rep), rep, rep.Specs
 	default:
 		err = fmt.Errorf("jobs: unknown sweep grid %q", sw.Grid)
 	}
@@ -780,6 +785,23 @@ func sweepSeed(seed uint64) uint64 {
 		return 1906
 	}
 	return seed
+}
+
+// renderChaos formats a fuzz-campaign report the way aft-chaos -gen
+// prints it, shrunk reproducers inline, so a finding in a sweep job's
+// transcript is immediately committable as a regression golden.
+func renderChaos(rep gen.Report) string {
+	var b strings.Builder
+	for _, f := range rep.Findings {
+		fmt.Fprintf(&b, "FAIL %s [%s]: %s\n", f.Spec.Name, f.Signature, f.Detail)
+		if f.Shrunk != nil {
+			if data, err := f.Shrunk.Encode(); err == nil {
+				fmt.Fprintf(&b, "  shrunk reproducer (%d evals):\n%s", f.ShrinkEvals, data)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "gen: seed=%d specs=%d findings=%d\n", rep.Seed, rep.Specs, len(rep.Findings))
+	return b.String()
 }
 
 // scenarioSummary is the structured half of a scenario result.

@@ -696,3 +696,29 @@ func TestStatusProgressAdvances(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSweepGridChaos(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	spec := Spec{Kind: KindSweep, Sweep: &SweepSpec{Grid: "chaos", Seed: 1, Count: 30}}
+	st, _, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Wait(waitCtx(t), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != StateDone || res.Rounds != 30 {
+		t.Fatalf("chaos sweep result %+v (%s)", res, res.Error)
+	}
+	if !strings.Contains(res.Transcript, "gen: seed=1 specs=30 findings=0") {
+		t.Fatalf("chaos transcript:\n%s", res.Transcript)
+	}
+}
+
+func TestSweepGridChaosValidation(t *testing.T) {
+	bad := Spec{Kind: KindSweep, Sweep: &SweepSpec{Grid: "chaos"}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "Count") {
+		t.Fatalf("countless chaos sweep accepted: %v", err)
+	}
+}

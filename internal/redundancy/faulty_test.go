@@ -1,0 +1,130 @@
+package redundancy
+
+import (
+	"testing"
+
+	"aft/internal/voting"
+	"aft/internal/xrand"
+)
+
+func faultySwitchboard(t *testing.T) *Switchboard {
+	t.Helper()
+	farm, err := voting.NewFarm(3, func(v uint64) uint64 { return v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewSwitchboard(farm, DefaultPolicy(), []byte("faulty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sb
+}
+
+// TestStepFaultyFlagsOffEqualsStepFirstK: with collude and partitioned
+// both false, StepFaulty is operation-for-operation StepFirstK — same
+// outcomes, same resizes, same nonce stream, same rng consumption.
+// The scenario runner routes every organ round through StepFaulty, so
+// this equivalence is what keeps the pre-existing golden transcripts
+// valid.
+func TestStepFaultyFlagsOffEqualsStepFirstK(t *testing.T) {
+	a, b := faultySwitchboard(t), faultySwitchboard(t)
+	ra, rb := xrand.New(7), xrand.New(7)
+	for step := uint64(0); step < 200; step++ {
+		k := int(step % 5) // sweeps 0..4 across a 3..9 band
+		oa, resA := a.StepFaulty(step, k, false, false, ra)
+		ob, resB := b.StepFirstK(step, k, rb)
+		if resA != resB || oa.Failed() != ob.Failed() || oa.DTOF != ob.DTOF || oa.N != ob.N {
+			t.Fatalf("step %d diverged: %+v/%v vs %+v/%v", step, oa, resA, ob, resB)
+		}
+	}
+	if a.Resizes() != b.Resizes() || a.LastNonce() != b.LastNonce() {
+		t.Fatalf("switchboards diverged: resizes %d/%d nonce %d/%d",
+			a.Resizes(), b.Resizes(), a.LastNonce(), b.LastNonce())
+	}
+	if ra.State() != rb.State() {
+		t.Fatal("rng streams diverged")
+	}
+}
+
+// TestStepFaultyPartitionSkipsObservation: a partitioned round still
+// votes (the replicas run regardless of the control link) but the
+// controller neither updates its streaks nor resizes — the organ stays
+// frozen at its current dimensioning however bad the rounds get.
+func TestStepFaultyPartitionSkipsObservation(t *testing.T) {
+	sb := faultySwitchboard(t)
+	rng := xrand.New(11)
+	for step := uint64(0); step < 50; step++ {
+		// Every replica corrupted: dtof 0, a guaranteed raise trigger.
+		o, resized := sb.StepFaulty(step, 3, false, true, rng)
+		if !o.Failed() {
+			t.Fatalf("step %d: fully corrupted round succeeded: %+v", step, o)
+		}
+		if resized {
+			t.Fatalf("step %d: partitioned round resized", step)
+		}
+	}
+	if sb.Resizes() != 0 || sb.LastNonce() != 0 {
+		t.Fatalf("partitioned rounds reached the controller: resizes=%d nonce=%d",
+			sb.Resizes(), sb.LastNonce())
+	}
+	// Link restored: the same disturbance now raises immediately.
+	if _, resized := sb.StepFaulty(50, 3, false, false, rng); !resized {
+		t.Fatal("restored link did not resize on a critical round")
+	}
+	if sb.Farm().N() != 3+DefaultPolicy().Step {
+		t.Fatalf("raise did not land: n=%d", sb.Farm().N())
+	}
+}
+
+// TestStepFaultyCollusionBeatsIndependence: on a 3-replica organ, two
+// colluders elect a wrong majority (silent failure, dtof 0 invisible)
+// while two independent corruptions produce detectable total dissent.
+func TestStepFaultyCollusionBeatsIndependence(t *testing.T) {
+	col := faultySwitchboard(t)
+	o, _ := col.StepFaulty(1, 2, true, false, xrand.New(13))
+	if !o.HasMajority || o.Correct {
+		t.Fatalf("2-of-3 colluders did not elect a wrong majority: %+v", o)
+	}
+	ind := faultySwitchboard(t)
+	o, _ = ind.StepFaulty(1, 2, false, false, xrand.New(13))
+	if o.HasMajority {
+		t.Fatalf("2 independent corruptions agreed under seed 13; pick another seed: %+v", o)
+	}
+}
+
+// TestStepFaultyRefParity: the fused and reference idioms agree
+// outcome-for-outcome and resize-for-resize across the full flag
+// matrix, from identical rng states.
+func TestStepFaultyRefParity(t *testing.T) {
+	cases := []struct {
+		name               string
+		collude, partition bool
+	}{
+		{"plain", false, false},
+		{"collude", true, false},
+		{"partition", false, true},
+		{"collude+partition", true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fused, ref := faultySwitchboard(t), faultySwitchboard(t)
+			ra, rb := xrand.New(17), xrand.New(17)
+			for step := uint64(0); step < 100; step++ {
+				k := int(step % 4)
+				oa, resA := fused.StepFaulty(step, k, tc.collude, tc.partition, ra)
+				ob, resB := ref.StepFaultyRef(step, k, tc.collude, tc.partition, rb)
+				if resA != resB || oa.Failed() != ob.Failed() || oa.DTOF != ob.DTOF ||
+					oa.Value != ob.Value || oa.Dissent != ob.Dissent {
+					t.Fatalf("step %d: fused %+v/%v vs reference %+v/%v", step, oa, resA, ob, resB)
+				}
+			}
+			if fused.Resizes() != ref.Resizes() || fused.LastNonce() != ref.LastNonce() {
+				t.Fatalf("engines diverged: resizes %d/%d nonce %d/%d",
+					fused.Resizes(), ref.Resizes(), fused.LastNonce(), ref.LastNonce())
+			}
+			if ra.State() != rb.State() {
+				t.Fatal("rng streams diverged")
+			}
+		})
+	}
+}

@@ -1,0 +1,251 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"aft/internal/scenario"
+)
+
+// syntheticCorrupt is a deterministic oracle for shrinker tests: a
+// spec "fails" when some phase corrupts replicas and the horizon is at
+// least 17. Everything else about the spec is noise the shrinker
+// should strip.
+func syntheticCorrupt(spec scenario.Spec, _ bool) (string, string) {
+	if spec.Horizon < 17 {
+		return "", ""
+	}
+	for _, p := range spec.Phases {
+		if p.Corrupt > 0 {
+			return "synthetic:corrupt", "corrupting phase present"
+		}
+	}
+	return "", ""
+}
+
+// bloated returns a deliberately noisy failing spec for the synthetic
+// oracle: spectator phases, watchdogs, replays, an executor, a
+// teardown, and a horizon far past the 17 the oracle needs.
+func bloated() scenario.Spec {
+	return scenario.Spec{
+		Name:        "bloated",
+		Description: "shrinker test input",
+		Seed:        5,
+		Horizon:     900,
+		Organ:       true,
+		Policy:      scenario.Builtins()[0].Policy,
+		TeardownAt:  800,
+		Executor:    &scenario.ExecutorSpec{Spares: 2, MaxRetries: 3},
+		Watchdogs: []scenario.WatchdogSpec{
+			{Name: "wd-a", Interval: 5, Deadline: 10},
+			{Name: "wd-b", Interval: 7, Deadline: 21},
+		},
+		Phases: []scenario.Phase{
+			{Name: "calm", Start: 0, Model: scenario.ModelSpec{Kind: "never"}},
+			{Name: "storm", Start: 100, Model: scenario.ModelSpec{Kind: "bernoulli", P: 0.5},
+				Corrupt: 4, Collude: true, Partition: true, Upset: true, Skew: 11},
+			{Name: "tail", Start: 200, Model: scenario.ModelSpec{Kind: "always"}, Crash: true},
+		},
+		Replays: []scenario.ReplaySpec{
+			{At: 300, Kind: scenario.AttackReplay},
+			{At: 400, Kind: scenario.AttackForge},
+		},
+	}
+}
+
+func shrinkWith(t *testing.T, spec scenario.Spec, sig string,
+	check func(scenario.Spec, bool) (string, string)) (scenario.Spec, int) {
+	t.Helper()
+	s := &shrinker{sig: sig, check: check, memo: make(map[string]string)}
+	return s.run(spec)
+}
+
+// TestShrinkMinimizesSynthetic: the shrinker strips everything the
+// oracle does not demand — one phase, no spectators, the smallest
+// failing horizon — while the signature is preserved at every step.
+func TestShrinkMinimizesSynthetic(t *testing.T) {
+	spec := bloated()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("test input invalid: %v", err)
+	}
+	got, evals := shrinkWith(t, spec, "synthetic:corrupt", syntheticCorrupt)
+	if sig, _ := syntheticCorrupt(got, false); sig != "synthetic:corrupt" {
+		t.Fatalf("shrunk spec no longer fails the oracle: %+v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("shrunk spec invalid: %v", err)
+	}
+	if len(got.Phases) != 1 {
+		t.Errorf("shrunk to %d phases, want 1: %+v", len(got.Phases), got.Phases)
+	}
+	if got.Horizon != 17 {
+		t.Errorf("shrunk horizon %d, want 17", got.Horizon)
+	}
+	if len(got.Watchdogs) != 0 || len(got.Replays) != 0 || got.Executor != nil || got.TeardownAt != 0 {
+		t.Errorf("spectator components survived: %+v", got)
+	}
+	p := got.Phases[0]
+	if p.Corrupt != 1 || p.Collude || p.Partition || p.Upset || p.Latch || p.Crash || p.Skew != 0 {
+		t.Errorf("phase parameters not minimized: %+v", p)
+	}
+	if evals == 0 {
+		t.Error("shrinker reported zero evaluations")
+	}
+}
+
+// TestShrinkPassingSpecNoOp: shrinking a spec that does not fail with
+// the target signature returns it unchanged.
+func TestShrinkPassingSpecNoOp(t *testing.T) {
+	quiet, ok := scenario.Builtin("quiet")
+	if !ok {
+		t.Fatal("builtin quiet missing")
+	}
+	got, _ := Shrink(quiet, "", false)
+	if got.Name != quiet.Name || got.Horizon != quiet.Horizon {
+		t.Fatalf("no-op shrink modified the spec: %+v", got)
+	}
+	got, evals := shrinkWith(t, bloated(), "synthetic:other",
+		func(scenario.Spec, bool) (string, string) { return "synthetic:corrupt", "" })
+	if got.Horizon != bloated().Horizon || len(got.Phases) != len(bloated().Phases) {
+		t.Fatalf("signature-mismatched shrink modified the spec: %+v", got)
+	}
+	if evals != 1 {
+		t.Fatalf("mismatch probe should cost exactly one evaluation, got %d", evals)
+	}
+}
+
+// TestShrinkPreservesSignature: with two failure modes in one spec,
+// the shrinker keeps the component carrying the target signature and
+// discards the other.
+func TestShrinkPreservesSignature(t *testing.T) {
+	oracle := func(spec scenario.Spec, _ bool) (string, string) {
+		for _, p := range spec.Phases {
+			if p.Collude {
+				return "synthetic:collude", ""
+			}
+		}
+		for _, p := range spec.Phases {
+			if p.Partition {
+				return "synthetic:partition", ""
+			}
+		}
+		return "", ""
+	}
+	got, _ := shrinkWith(t, bloated(), "synthetic:collude", oracle)
+	sawCollude, sawPartition := false, false
+	for _, p := range got.Phases {
+		sawCollude = sawCollude || p.Collude
+		sawPartition = sawPartition || p.Partition
+	}
+	if !sawCollude {
+		t.Fatalf("target signature component dropped: %+v", got.Phases)
+	}
+	if sawPartition {
+		t.Errorf("irrelevant partition flag survived: %+v", got.Phases)
+	}
+	if sig, _ := oracle(got, false); sig != "synthetic:collude" {
+		t.Fatalf("shrunk signature drifted to %q", sig)
+	}
+}
+
+// TestShrinkBudget: the shrinker stops at its evaluation budget even
+// against an oracle that keeps accepting candidates.
+func TestShrinkBudget(t *testing.T) {
+	calls := 0
+	oracle := func(spec scenario.Spec, _ bool) (string, string) {
+		calls++
+		return "synthetic:always", ""
+	}
+	_, evals := shrinkWith(t, bloated(), "synthetic:always", oracle)
+	if evals > shrinkBudget {
+		t.Fatalf("shrinker spent %d evaluations, budget is %d", evals, shrinkBudget)
+	}
+}
+
+// TestCampaignShrinksFindings: the campaign pipeline — generate,
+// check, shrink, report — wired end to end against a synthetic oracle
+// that fails every corpus spec with a colluding phase.
+func TestCampaignShrinksFindings(t *testing.T) {
+	oracle := func(spec scenario.Spec, _ bool) (string, string) {
+		for _, p := range spec.Phases {
+			if p.Collude {
+				return "synthetic:collude", "colluding phase"
+			}
+		}
+		return "", ""
+	}
+	rep := campaign(3, 40, Options{Shrink: true}, oracle)
+	if rep.Specs != 40 || rep.Seed != 3 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("corpus seed 3 generated no colluding phases in 40 specs")
+	}
+	for _, f := range rep.Findings {
+		if f.Signature != "synthetic:collude" {
+			t.Fatalf("finding signature %q", f.Signature)
+		}
+		if f.Shrunk == nil {
+			t.Fatal("shrinking requested but no shrunk spec reported")
+		}
+		if sig, _ := oracle(*f.Shrunk, false); sig != f.Signature {
+			t.Fatalf("shrunk spec of %s lost its signature", f.Spec.Name)
+		}
+		if len(f.Shrunk.Phases) > len(f.Spec.Phases) {
+			t.Fatalf("shrunk spec of %s grew", f.Spec.Name)
+		}
+	}
+}
+
+// TestCampaignCleanOnRealChecker: the committed corpus must run clean
+// through the real checker — the CI smoke job relies on exactly this.
+func TestCampaignCleanOnRealChecker(t *testing.T) {
+	rep := Campaign(1, 50, Options{Diff: true})
+	for _, f := range rep.Findings {
+		t.Errorf("spec %s fails [%s]: %s", f.Spec.Name, f.Signature, f.Detail)
+	}
+}
+
+// TestWildStrikesRejected re-fuzzes the validation bug the first
+// campaign surfaced: scripted strikes drawn outside the phase's live
+// window — negative, or landing at or past the horizon — used to pass
+// Spec.Validate and then silently never fire. Every such spec must now
+// be rejected.
+func TestWildStrikesRejected(t *testing.T) {
+	g := New(19)
+	rejected := 0
+	for i := 0; i < 200; i++ {
+		spec := g.Next()
+		// Mutate the last phase's model into a scripted one whose strike
+		// lands past the horizon — the pre-fix silent no-op.
+		wild := cloneSpec(spec)
+		ph := &wild.Phases[len(wild.Phases)-1]
+		ph.Model = scenario.ModelSpec{Kind: "scripted", Strikes: []int64{wild.Horizon - ph.Start}}
+		if ph.Corrupt == 0 && !ph.Upset && !ph.Latch && !ph.Crash && !ph.Partition && ph.Skew == 0 {
+			ph.Crash = len(wild.Watchdogs) > 0
+			if !ph.Crash {
+				if wild.Organ {
+					ph.Corrupt = 1
+				} else {
+					ph.Upset = wild.Executor != nil
+				}
+			}
+		}
+		err := wild.Validate()
+		if err == nil {
+			t.Fatalf("dead strike accepted: %+v", wild.Phases)
+		}
+		if strings.Contains(err.Error(), "can never fire") {
+			rejected++
+		}
+		neg := cloneSpec(spec)
+		np := &neg.Phases[0]
+		np.Model = scenario.ModelSpec{Kind: "scripted", Strikes: []int64{-1}}
+		if err := neg.Validate(); err == nil || !strings.Contains(err.Error(), "negative") {
+			t.Fatalf("negative strike not rejected: %v", err)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no wild strike exercised the window check")
+	}
+}

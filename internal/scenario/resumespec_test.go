@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"aft/internal/redundancy"
+)
+
+// resumeBase is the spec the ResumeSpec tests checkpoint: every
+// subsystem live, a teardown, and replays on both sides of the
+// checkpoint step, so each compatibility rule has something to bite.
+func resumeBase() Spec {
+	return Spec{
+		Name:     "resume-base",
+		Seed:     9,
+		Horizon:  40,
+		Organ:    true,
+		Policy:   redundancy.DefaultPolicy(),
+		Executor: &ExecutorSpec{Spares: 1, MaxRetries: 1},
+		Watchdogs: []WatchdogSpec{
+			{Name: "wd", Interval: 4, Deadline: 9},
+		},
+		TeardownAt: 30,
+		Phases: []Phase{
+			{Name: "calm", Start: 0, Model: ModelSpec{Kind: "never"}},
+			{Name: "storm", Start: 5, Model: ModelSpec{Kind: "bernoulli", P: 0.5},
+				Corrupt: 1, Collude: true},
+		},
+		Replays: []ReplaySpec{
+			{At: 4, Kind: AttackReplay},
+			{At: 25, Kind: AttackForge},
+		},
+	}
+}
+
+// TestResumeSpecFutureChanges: overrides that only touch the future —
+// a shorter or longer horizon, a dropped future replay — resume from
+// the shared prefix and reproduce the override's fresh run byte for
+// byte. This is the property the shrinker's horizon bisection rests
+// on.
+func TestResumeSpecFutureChanges(t *testing.T) {
+	base := resumeBase()
+	snap, err := Checkpoint(base, Options{}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"unchanged", func(s *Spec) {}},
+		{"shorter horizon", func(s *Spec) { s.Horizon = 32 }},
+		{"longer horizon", func(s *Spec) { s.Horizon = 60 }},
+		{"dropped future replay", func(s *Spec) { s.Replays = s.Replays[:1] }},
+		{"moved future teardown", func(s *Spec) { s.TeardownAt = 35 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			over := resumeBase()
+			tc.mut(&over)
+			fresh, err := Run(over, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := ResumeSpec(snap, over)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Transcript != fresh.Transcript {
+				t.Fatalf("resumed transcript diverges from the override's fresh run\n--- fresh\n%s\n--- resumed\n%s",
+					fresh.Transcript, resumed.Transcript)
+			}
+		})
+	}
+}
+
+// TestResumeSpecRejectsPastChanges: overrides that would rewrite steps
+// the snapshot already executed are rejected, each with its specific
+// error.
+func TestResumeSpecRejectsPastChanges(t *testing.T) {
+	base := resumeBase()
+	snap, err := Checkpoint(base, Options{}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"seed", func(s *Spec) { s.Seed = 10 }, "changes the seed"},
+		{"policy", func(s *Spec) { s.Policy.LowerAfter = 5 }, "changes the organ policy"},
+		{"phases", func(s *Spec) { s.Phases[1].Corrupt = 2 }, "changes the phase schedule"},
+		{"watchdogs", func(s *Spec) { s.Watchdogs[0].Deadline = 10 }, "changes the watchdogs"},
+		{"executor", func(s *Spec) { s.Executor.Spares = 2 }, "changes the executor"},
+		{"teardown class", func(s *Spec) { s.TeardownAt = 0 }, "changes the teardown class"},
+		{"teardown into the past", func(s *Spec) { s.TeardownAt = 10 }, "before the checkpoint step"},
+		{"past replay", func(s *Spec) { s.Replays[0].At = 3 },
+			"changes replay injections at or before the checkpoint step"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			over := resumeBase()
+			tc.mut(&over)
+			if err := over.Validate(); err != nil {
+				t.Fatalf("override must be valid on its own, got: %v", err)
+			}
+			_, err := ResumeSpec(snap, over)
+			if err == nil {
+				t.Fatal("past-rewriting override accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestResumeSpecTornTeardown: once the teardown has happened, it
+// cannot be moved — even to a step still in the future.
+func TestResumeSpecTornTeardown(t *testing.T) {
+	base := resumeBase()
+	snap, err := Checkpoint(base, Options{}, 35) // teardown at 30 already ran
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := resumeBase()
+	over.TeardownAt = 36
+	if _, err := ResumeSpec(snap, over); err == nil ||
+		!strings.Contains(err.Error(), "moves a teardown that already happened") {
+		t.Fatalf("moved torn teardown not rejected: %v", err)
+	}
+}
+
+// TestResumeSpecRejectsInvalidOverride: the override is validated like
+// any other spec before compatibility is even considered.
+func TestResumeSpecRejectsInvalidOverride(t *testing.T) {
+	base := resumeBase()
+	snap, err := Checkpoint(base, Options{}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := resumeBase()
+	over.Horizon = -1
+	if _, err := ResumeSpec(snap, over); err == nil {
+		t.Fatal("invalid override accepted")
+	}
+}

@@ -81,26 +81,49 @@ func (p *program) step(s int64) (Phase, int, bool) {
 	return p.phases[p.idx], p.idx, p.models[p.idx].Step(p.rng)
 }
 
-// organSource adapts a program to the campaign engine's corruption
+// organSource adapts a program to the campaign engine's fault
 // interface for the differential mode, replaying only the organ track.
+// Because it implements experiments.FaultSource, the engines consult
+// Faults — exactly once per round — and Corruptions is never called on
+// the engine path; both methods advance the program, so a caller must
+// use one or the other, never both.
 type organSource struct{ prog *program }
 
 // Corruptions implements experiments.CorruptionSource.
 func (o organSource) Corruptions(step int64) int {
-	ph, _, strike := o.prog.step(step)
-	if strike {
-		return ph.Corrupt
-	}
-	return 0
+	return o.Faults(step).Corruptions
 }
 
-// pushSource feeds the Runner's per-step corruption count into the
-// fused campaign engine: the Runner computes k from the shared phase
-// program, pushes it, and steps the campaign.
-type pushSource struct{ k int }
+// Faults implements experiments.FaultSource, advancing the shared
+// phase program exactly once per round.
+func (o organSource) Faults(step int64) experiments.StepFaults {
+	ph, _, strike := o.prog.step(step)
+	if !strike {
+		return experiments.StepFaults{}
+	}
+	return experiments.StepFaults{
+		Corruptions: ph.Corrupt,
+		Colluding:   ph.Collude && ph.Corrupt > 0,
+		Partitioned: ph.Partition,
+	}
+}
+
+// pushSource feeds the Runner's per-step fault environment into the
+// fused campaign engine: the Runner derives the strike's organ effect
+// from the shared phase program, pushes it here, and steps the
+// campaign.
+type pushSource struct {
+	k                    int
+	collude, partitioned bool
+}
 
 // Corruptions implements experiments.CorruptionSource.
 func (p *pushSource) Corruptions(int64) int { return p.k }
+
+// Faults implements experiments.FaultSource.
+func (p *pushSource) Faults(int64) experiments.StepFaults {
+	return experiments.StepFaults{Corruptions: p.k, Colluding: p.collude, Partitioned: p.partitioned}
+}
 
 // organConfig derives the campaign configuration for a scenario's organ
 // track. Seeds are split per subsystem (xrand.Seeds), so the campaign's
@@ -304,9 +327,11 @@ func (r *runner) tick(s *simclock.Scheduler) {
 	}
 
 	if r.camp != nil && !r.torn {
-		r.push.k = 0
+		r.push.k, r.push.collude, r.push.partitioned = 0, false, false
 		if strike {
 			r.push.k = ph.Corrupt
+			r.push.collude = ph.Collude && ph.Corrupt > 0
+			r.push.partitioned = ph.Partition
 		}
 		o := r.camp.Step()
 		sb := r.camp.Switchboard()
@@ -327,6 +352,15 @@ func (r *runner) tick(s *simclock.Scheduler) {
 		}
 	}
 
+	if len(r.dogs) > 0 {
+		var sk simclock.Time
+		if ph.Skew > 0 && strike {
+			sk = simclock.Time(ph.Skew)
+		}
+		for _, wd := range r.dogs {
+			wd.SetSkew(sk)
+		}
+	}
 	crash := ph.Crash && strike
 	if !crash {
 		for _, wd := range r.dogs {
@@ -451,6 +485,15 @@ func phaseTargets(ph Phase) string {
 	}
 	if ph.Crash {
 		s += " crash"
+	}
+	if ph.Collude {
+		s += " collude"
+	}
+	if ph.Partition {
+		s += " partition"
+	}
+	if ph.Skew > 0 {
+		s += fmt.Sprintf(" skew=%d", ph.Skew)
 	}
 	return s
 }

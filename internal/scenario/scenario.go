@@ -72,6 +72,11 @@ func (m ModelSpec) Build() (faults.Model, error) {
 			GoodToBad: m.GoodToBad, BadToGood: m.BadToGood,
 		}, nil
 	case "scripted":
+		for _, st := range m.Strikes {
+			if st < 0 {
+				return nil, fmt.Errorf("scenario: scripted strike %d is negative and can never fire", st)
+			}
+		}
 		return faults.NewScripted(m.Strikes...), nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown model kind %q", m.Kind)
@@ -103,6 +108,20 @@ type Phase struct {
 	// Crash suppresses the watched tasks' heartbeats on every step the
 	// model strikes (watchdog target).
 	Crash bool `json:"crash,omitempty"`
+	// Collude makes the Corrupt replicas a colluding (Byzantine) group
+	// on every strike: instead of failing independently with distinct
+	// wrong values, they all vote one shared wrong value — the worst
+	// case for majority voting. Only meaningful with Corrupt > 0.
+	Collude bool `json:"collude,omitempty"`
+	// Partition severs the organ↔controller message link on every step
+	// the model strikes: the voting round still runs, but its outcome
+	// never reaches the redundancy controller and no resize can be
+	// issued that step (message-loss fault model).
+	Partition bool `json:"partition,omitempty"`
+	// Skew runs the watchdogs' local clocks this many steps ahead on
+	// every step the model strikes: heartbeats age prematurely, and a
+	// skew past a watchdog's deadline slack fires it on a healthy task.
+	Skew int64 `json:"skew,omitempty"`
 }
 
 // WatchdogSpec declares one watchdog timer observing the scenario's
@@ -194,10 +213,24 @@ func (s Spec) Validate() error {
 		if p.Corrupt < 0 {
 			return fmt.Errorf("scenario: phase %q negative corrupt %d", p.Name, p.Corrupt)
 		}
+		if p.Skew < 0 {
+			return fmt.Errorf("scenario: phase %q negative skew %d", p.Name, p.Skew)
+		}
+		if p.Collude && p.Corrupt == 0 {
+			return fmt.Errorf("scenario: phase %q colludes but corrupts no replicas", p.Name)
+		}
 		if _, err := p.Model.Build(); err != nil {
 			return fmt.Errorf("phase %q: %w", p.Name, err)
 		}
-		if (p.Corrupt > 0 || p.Upset || p.Latch || p.Crash) == false &&
+		if p.Model.Kind == "scripted" {
+			for _, st := range p.Model.Strikes {
+				if p.Start+st >= s.Horizon {
+					return fmt.Errorf("scenario: phase %q scripted strike %d lands at step %d, at or beyond horizon %d, and can never fire",
+						p.Name, st, p.Start+st, s.Horizon)
+				}
+			}
+		}
+		if (p.Corrupt > 0 || p.Upset || p.Latch || p.Crash || p.Partition || p.Skew > 0) == false &&
 			p.Model.Kind != "never" {
 			return fmt.Errorf("scenario: phase %q has a striking model but no target", p.Name)
 		}
@@ -211,6 +244,9 @@ func (s Spec) Validate() error {
 			if p.Corrupt > 0 {
 				return fmt.Errorf("scenario: phase %q corrupts replicas but the organ is disabled", p.Name)
 			}
+			if p.Partition {
+				return fmt.Errorf("scenario: phase %q partitions the organ link but the organ is disabled", p.Name)
+			}
 		}
 		if len(s.Replays) > 0 {
 			return fmt.Errorf("scenario: replay attacks need the organ enabled")
@@ -220,7 +256,7 @@ func (s Spec) Validate() error {
 		}
 	}
 	if s.TeardownAt < 0 || s.TeardownAt > s.Horizon {
-		return fmt.Errorf("scenario: teardown step %d outside (0, horizon]", s.TeardownAt)
+		return fmt.Errorf("scenario: teardown step %d outside [0, horizon] (0 disables teardown)", s.TeardownAt)
 	}
 	if s.Executor != nil {
 		if s.Executor.Spares < 0 || s.Executor.MaxRetries < 0 {
@@ -237,6 +273,9 @@ func (s Spec) Validate() error {
 		for _, p := range s.Phases {
 			if p.Crash {
 				return fmt.Errorf("scenario: phase %q crashes the task but no watchdog is declared", p.Name)
+			}
+			if p.Skew > 0 {
+				return fmt.Errorf("scenario: phase %q skews the watchdog clocks but no watchdog is declared", p.Name)
 			}
 		}
 	}

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The specs under testdata/shrunk are shrunk reproducers from the
+// first generative fuzz campaign: each one passed Validate before its
+// fix and then silently did nothing — a scripted strike outside the
+// phase's live window never fires, so the run reported a clean pass
+// while claiming to inject faults. These tests pin both halves of each
+// fix: the reproducer is rejected with its specific error, and the
+// corrected twin (the same spec with the strike moved inside the
+// window) demonstrably fires.
+
+func TestShrunkReproducersRejected(t *testing.T) {
+	cases := []struct {
+		file string
+		want string
+	}{
+		{"dead-strike.json", "scripted strike 10 lands at step 10, at or beyond horizon 10, and can never fire"},
+		{"negative-strike.json", "scripted strike -1 is negative and can never fire"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			_, err := Load(filepath.Join("testdata", "shrunk", tc.file))
+			if err == nil {
+				t.Fatalf("%s accepted; its validation fix regressed", tc.file)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("%s rejected with %q, want %q", tc.file, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestShrunkReproducerCorrectedTwinFires proves the pre-fix behavior
+// was a silent no-op: the dead-strike spec with its strike moved
+// inside the live window runs — and the latch it targets actually
+// trips. Before the fix, the committed spec ran identically except the
+// strike never fired and the latch stayed clean.
+func TestShrunkReproducerCorrectedTwinFires(t *testing.T) {
+	data := `{
+		"name": "dead-strike-corrected",
+		"seed": 1,
+		"horizon": 10,
+		"executor": {"spares": 0, "max_retries": 0},
+		"phases": [
+			{"name": "p0", "start": 0, "model": {"kind": "scripted", "strikes": [5]}, "latch": true}
+		]
+	}`
+	var spec Spec
+	if err := json.Unmarshal([]byte(data), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("corrected twin invalid: %v", err)
+	}
+	res, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Transcript, "permanent fault latched") {
+		t.Fatalf("in-window strike did not trip the latch:\n%s", res.Transcript)
+	}
+}

@@ -30,6 +30,7 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"reflect"
 	"sort"
 
 	"aft/internal/accada"
@@ -247,6 +248,23 @@ func (r *runner) snapshot(at int64) (*checkpoint.Snapshot, error) {
 // completion, returning the same Result — transcript included, byte for
 // byte — the uninterrupted run produces.
 func Resume(snap *checkpoint.Snapshot) (*Result, error) {
+	return resume(snap, nil)
+}
+
+// ResumeSpec resumes a snapshot under a modified spec: hindsight
+// replay, the shrinker's fast path. Instead of re-executing a shrunk
+// candidate from step zero, the shrinker checkpoints the failing spec
+// once before its divergence point and resumes each candidate from
+// that shared prefix. The modified spec must agree with the snapshot's
+// on everything that has already happened — phases, targets, seed
+// streams, teardown class, replays at or before the checkpoint step —
+// so the divergence is strictly in the future: a shorter horizon or a
+// dropped future replay. resumeCompat enforces exactly that.
+func ResumeSpec(snap *checkpoint.Snapshot, spec Spec) (*Result, error) {
+	return resume(snap, &spec)
+}
+
+func resume(snap *checkpoint.Snapshot, override *Spec) (*Result, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("scenario: nil snapshot")
 	}
@@ -260,6 +278,15 @@ func Resume(snap *checkpoint.Snapshot) (*Result, error) {
 	var st runnerState
 	if err := json.Unmarshal(snap.Section("state"), &st); err != nil {
 		return nil, fmt.Errorf("scenario: decode snapshot state: %w", err)
+	}
+	if override != nil {
+		if err := override.Validate(); err != nil {
+			return nil, err
+		}
+		if err := resumeCompat(st, *override); err != nil {
+			return nil, err
+		}
+		st.Spec = *override
 	}
 	r, err := newRunner(st.Spec, Options{Seed: st.Seed})
 	if err != nil {
@@ -277,6 +304,58 @@ func Resume(snap *checkpoint.Snapshot) (*Result, error) {
 	r.scheduleResume(st)
 	r.sched.Run(simclock.Time(r.spec.Horizon))
 	return r.result(), nil
+}
+
+// resumeCompat rejects spec overrides that would rewrite the past. A
+// snapshot taken at step At may only be resumed under a spec whose
+// behaviour on steps [0, At] is identical to the snapshotted spec's:
+// the same phases (the strike streams and targets), the same organ,
+// policy, executor, watchdogs, and seed (the derived rng streams), the
+// same teardown class, and the same replay injections at or before At.
+// Only the future — horizon, post-At replays, a post-At teardown — may
+// differ.
+func resumeCompat(st runnerState, spec Spec) error {
+	old := st.Spec
+	switch {
+	case spec.Seed != old.Seed:
+		return fmt.Errorf("scenario: resume spec changes the seed (%d -> %d)", old.Seed, spec.Seed)
+	case spec.Organ != old.Organ:
+		return fmt.Errorf("scenario: resume spec changes the organ target")
+	case !reflect.DeepEqual(spec.Policy, old.Policy):
+		return fmt.Errorf("scenario: resume spec changes the organ policy")
+	case !reflect.DeepEqual(spec.Phases, old.Phases):
+		return fmt.Errorf("scenario: resume spec changes the phase schedule")
+	case !reflect.DeepEqual(spec.Watchdogs, old.Watchdogs):
+		return fmt.Errorf("scenario: resume spec changes the watchdogs")
+	case !reflect.DeepEqual(spec.Executor, old.Executor):
+		return fmt.Errorf("scenario: resume spec changes the executor")
+	}
+	if (spec.TeardownAt > 0) != (old.TeardownAt > 0) {
+		return fmt.Errorf("scenario: resume spec changes the teardown class (%d -> %d)", old.TeardownAt, spec.TeardownAt)
+	}
+	if spec.TeardownAt > 0 {
+		if st.Torn && spec.TeardownAt != old.TeardownAt {
+			return fmt.Errorf("scenario: resume spec moves a teardown that already happened (%d -> %d)",
+				old.TeardownAt, spec.TeardownAt)
+		}
+		if !st.Torn && spec.TeardownAt <= st.At {
+			return fmt.Errorf("scenario: resume spec puts the teardown at %d, before the checkpoint step %d",
+				spec.TeardownAt, st.At)
+		}
+	}
+	past := func(rs []ReplaySpec) []ReplaySpec {
+		var out []ReplaySpec
+		for _, rp := range rs {
+			if rp.At <= st.At {
+				out = append(out, rp)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(past(spec.Replays), past(old.Replays)) {
+		return fmt.Errorf("scenario: resume spec changes replay injections at or before the checkpoint step %d", st.At)
+	}
+	return nil
 }
 
 // restore overwrites the freshly constructed subsystems with snapshot

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"aft/internal/redundancy"
+)
+
+// validSpec is a fully-featured spec that passes Validate; each table
+// case below breaks exactly one rule.
+func validSpec() Spec {
+	return Spec{
+		Name:    "valid",
+		Seed:    1,
+		Horizon: 50,
+		Organ:   true,
+		Policy:  redundancy.DefaultPolicy(),
+		Executor: &ExecutorSpec{
+			Spares: 1, MaxRetries: 1,
+		},
+		Watchdogs: []WatchdogSpec{{Name: "wd", Interval: 5, Deadline: 10}},
+		Phases: []Phase{
+			{Name: "calm", Start: 0, Model: ModelSpec{Kind: "never"}},
+			{Name: "storm", Start: 10, Model: ModelSpec{Kind: "always"}, Corrupt: 1},
+		},
+		Replays: []ReplaySpec{{At: 20, Kind: AttackReplay}},
+	}
+}
+
+// TestValidateErrorPaths drives every Validate error branch with a
+// minimal mutation of a known-good spec and pins the error text, so a
+// reworded message or a silently-dropped check fails loudly.
+func TestValidateErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "empty name"},
+		{"zero horizon", func(s *Spec) { s.Horizon = 0 }, "horizon 0 must be positive"},
+		{"no phases", func(s *Spec) { s.Phases = nil }, "at least one phase"},
+		{"late first phase", func(s *Spec) { s.Phases[0].Start = 3 }, "first phase must start at 0"},
+		{"non-increasing phase", func(s *Spec) { s.Phases[1].Start = 0 }, "does not increase"},
+		{"negative corrupt", func(s *Spec) { s.Phases[1].Corrupt = -1 }, "negative corrupt"},
+		{"negative skew", func(s *Spec) { s.Phases[1].Skew = -2 }, "negative skew"},
+		{"collude without corrupt", func(s *Spec) {
+			s.Phases[1].Corrupt = 0
+			s.Phases[1].Collude = true
+			s.Phases[1].Upset = true
+		}, "colludes but corrupts no replicas"},
+		{"unknown model kind", func(s *Spec) { s.Phases[1].Model.Kind = "weird" }, `unknown model kind "weird"`},
+		{"bernoulli p out of range", func(s *Spec) {
+			s.Phases[1].Model = ModelSpec{Kind: "bernoulli", P: 1.5}
+		}, "bernoulli p 1.5 outside [0,1]"},
+		{"burst probability out of range", func(s *Spec) {
+			s.Phases[1].Model = ModelSpec{Kind: "burst", PBad: -0.1}
+		}, "burst probability -0.1 outside [0,1]"},
+		{"negative scripted strike", func(s *Spec) {
+			s.Phases[1].Model = ModelSpec{Kind: "scripted", Strikes: []int64{-1}}
+		}, "scripted strike -1 is negative and can never fire"},
+		{"scripted strike at horizon", func(s *Spec) {
+			s.Phases[1].Model = ModelSpec{Kind: "scripted", Strikes: []int64{40}}
+		}, "scripted strike 40 lands at step 50, at or beyond horizon 50, and can never fire"},
+		{"scripted strike beyond horizon", func(s *Spec) {
+			s.Phases[1].Model = ModelSpec{Kind: "scripted", Strikes: []int64{2, 99}}
+		}, "scripted strike 99 lands at step 109, at or beyond horizon 50, and can never fire"},
+		{"striking model without target", func(s *Spec) { s.Phases[1].Corrupt = 0 }, "striking model but no target"},
+		{"invalid policy", func(s *Spec) { s.Policy.Min = 2 }, ""},
+		{"corrupt without organ", func(s *Spec) {
+			s.Organ = false
+			s.Replays = nil
+		}, "corrupts replicas but the organ is disabled"},
+		{"partition without organ", func(s *Spec) {
+			s.Organ = false
+			s.Replays = nil
+			s.Phases[1].Corrupt = 0
+			s.Phases[1].Partition = true
+		}, "partitions the organ link but the organ is disabled"},
+		{"replays without organ", func(s *Spec) {
+			s.Organ = false
+			s.Phases[1].Corrupt = 0
+			s.Phases[1].Upset = true
+		}, "replay attacks need the organ enabled"},
+		{"teardown without organ", func(s *Spec) {
+			s.Organ = false
+			s.Replays = nil
+			s.Phases[1].Corrupt = 0
+			s.Phases[1].Upset = true
+			s.TeardownAt = 10
+		}, "teardown needs the organ enabled"},
+		{"teardown beyond horizon", func(s *Spec) { s.TeardownAt = 51 },
+			"teardown step 51 outside [0, horizon] (0 disables teardown)"},
+		{"negative teardown", func(s *Spec) { s.TeardownAt = -1 },
+			"teardown step -1 outside [0, horizon] (0 disables teardown)"},
+		{"negative executor spares", func(s *Spec) { s.Executor.Spares = -1 }, "negative executor spares"},
+		{"upset without executor", func(s *Spec) {
+			s.Executor = nil
+			s.Phases[1].Upset = true
+		}, "upsets the executor but none is declared"},
+		{"crash without watchdog", func(s *Spec) {
+			s.Watchdogs = nil
+			s.Phases[1].Crash = true
+		}, "crashes the task but no watchdog is declared"},
+		{"skew without watchdog", func(s *Spec) {
+			s.Watchdogs = nil
+			s.Phases[1].Skew = 3
+		}, "skews the watchdog clocks but no watchdog is declared"},
+		{"unnamed watchdog", func(s *Spec) { s.Watchdogs[0].Name = "" },
+			"needs a name and positive interval/deadline"},
+		{"nonpositive watchdog deadline", func(s *Spec) { s.Watchdogs[0].Deadline = 0 },
+			"needs a name and positive interval/deadline"},
+		{"replay beyond horizon", func(s *Spec) { s.Replays[0].At = 50 }, "replay at 50 outside [0, horizon)"},
+		{"negative replay", func(s *Spec) { s.Replays[0].At = -1 }, "replay at -1 outside [0, horizon)"},
+		{"unknown attack kind", func(s *Spec) { s.Replays[0].Kind = "mitm" }, `unknown attack kind "mitm"`},
+	}
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("base spec invalid: %v", err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mut(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("mutation accepted: %+v", s)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateAcceptsBoundaries pins the values the error messages
+// promise are legal: a teardown exactly at the horizon, a strike on
+// the last live step, zero teardown.
+func TestValidateAcceptsBoundaries(t *testing.T) {
+	s := validSpec()
+	s.TeardownAt = s.Horizon
+	if err := s.Validate(); err != nil {
+		t.Fatalf("teardown at horizon rejected: %v", err)
+	}
+	s = validSpec()
+	s.Phases[1].Model = ModelSpec{Kind: "scripted", Strikes: []int64{39}} // lands at 49 < 50
+	if err := s.Validate(); err != nil {
+		t.Fatalf("last-step strike rejected: %v", err)
+	}
+	s = validSpec()
+	s.TeardownAt = 0
+	if err := s.Validate(); err != nil {
+		t.Fatalf("zero teardown rejected: %v", err)
+	}
+}

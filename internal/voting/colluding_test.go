@@ -1,0 +1,127 @@
+package voting
+
+import (
+	"testing"
+
+	"aft/internal/xrand"
+)
+
+// TestColludingMajorityElectsWrongValue is the point of the model: a
+// colluding group of more than n/2 replicas elects a wrong majority,
+// where the same number of independently-failing replicas almost never
+// agrees on one wrong value.
+func TestColludingMajorityElectsWrongValue(t *testing.T) {
+	farm, err := NewFarm(5, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1)
+	o := farm.RoundColluding(42, 3, rng)
+	if !o.HasMajority {
+		t.Fatalf("3 of 5 colluders did not form a majority: %+v", o)
+	}
+	if o.Correct {
+		t.Fatalf("colluding majority reported the correct value: %+v", o)
+	}
+	if !o.Failed() {
+		t.Fatal("wrong-majority round not counted as failed")
+	}
+	if o.Votes[0] != o.Votes[1] || o.Votes[1] != o.Votes[2] {
+		t.Fatalf("colluders did not share one value: %v", o.Votes)
+	}
+	if o.Votes[0] == 42 {
+		t.Fatal("colluders voted the golden value")
+	}
+
+	// The independent storm of the same intensity: three distinct wrong
+	// values, no majority for any of them — detectable dissent instead
+	// of a silent wrong consensus.
+	indep := farm.RoundFirstK(42, 3, xrand.New(1))
+	if indep.HasMajority && !indep.Correct {
+		t.Fatalf("independent faults happened to collude under seed 1; pick another seed: %v", indep.Votes)
+	}
+}
+
+// TestColludingMinorityIsOutvoted: a colluding group below the
+// majority threshold is outvoted like any other dissent, but with the
+// whole group stacked on one value the dissent is maximally
+// concentrated.
+func TestColludingMinorityIsOutvoted(t *testing.T) {
+	farm, err := NewFarm(7, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := farm.RoundColluding(7, 3, xrand.New(2))
+	if !o.HasMajority || !o.Correct {
+		t.Fatalf("4 honest of 7 lost the vote: %+v", o)
+	}
+	if o.Dissent != 3 {
+		t.Fatalf("dissent %d, want 3", o.Dissent)
+	}
+}
+
+// TestColludingSharedParity: RoundColluding and RoundShared (the
+// fused and reference idioms) produce identical outcomes and identical
+// rng consumption from the same state — the property the scenario
+// differential replay depends on.
+func TestColludingSharedParity(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 3, 5, 7, 9} {
+		fused, err := NewFarm(7, ident)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewFarm(7, ident)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := xrand.New(99), xrand.New(99)
+		for round := uint64(0); round < 50; round++ {
+			fo := fused.RoundColluding(round, k, a)
+			kk := k
+			ro := ref.RoundShared(round, func(i int) bool { return i < kk }, b)
+			if fo.HasMajority != ro.HasMajority || fo.Value != ro.Value ||
+				fo.Dissent != ro.Dissent || fo.DTOF != ro.DTOF || fo.Correct != ro.Correct {
+				t.Fatalf("k=%d round %d: fused %+v vs reference %+v", k, round, fo, ro)
+			}
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("k=%d round %d: rng streams diverged", k, round)
+			}
+			// Re-sync after the probe draw.
+			a, b = xrand.New(round), xrand.New(round)
+		}
+	}
+}
+
+// TestColludingClampsK mirrors RoundFirstK's clamping contract.
+func TestColludingClampsK(t *testing.T) {
+	farm, err := NewFarm(3, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := farm.RoundColluding(1, -4, xrand.New(3)); o.Failed() {
+		t.Fatalf("negative k corrupted the round: %+v", o)
+	}
+	o := farm.RoundColluding(1, 100, xrand.New(3))
+	if !o.Failed() || o.Dissent != 0 {
+		// All replicas collude: unanimous wrong consensus.
+		t.Fatalf("over-dimensioned k did not corrupt every replica: %+v", o)
+	}
+}
+
+// TestColludingZeroKConsumesNoRandomness: rng is untouched when no
+// replica colludes, so fused and reference streams stay aligned across
+// calm rounds.
+func TestColludingZeroKConsumesNoRandomness(t *testing.T) {
+	farm, err := NewFarm(3, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(4)
+	before := rng.State()
+	farm.RoundColluding(5, 0, rng)
+	farm.RoundShared(5, nil, rng)
+	farm.RoundShared(5, func(int) bool { return false }, rng)
+	if rng.State() != before {
+		t.Fatal("calm round consumed randomness")
+	}
+}

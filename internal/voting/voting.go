@@ -165,6 +165,73 @@ func (f *Farm) RoundFirstK(input uint64, k int, rng *xrand.Rand) Outcome {
 	return o
 }
 
+// RoundColluding executes one replicated computation where the first k
+// replicas are a colluding (Byzantine) voter group: instead of failing
+// independently, all k submit the same wrong value, drawn once from
+// rng. A group of more than n/2 colluders therefore elects a wrong
+// majority that an independent-fault storm of the same intensity almost
+// never produces — the fault model behind the chaos harness's
+// "collude" phases.
+//
+// Like RoundFirstK, ballots go through the farm's reusable buffer (the
+// returned Votes alias it) and k is clamped to [0, n]. rng is consumed
+// exactly once when k > 0, whatever k is.
+func (f *Farm) RoundColluding(input uint64, k int, rng *xrand.Rand) Outcome {
+	golden := f.method(input)
+	votes := f.buf[:f.n]
+	if k > f.n {
+		k = f.n
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > 0 {
+		shared := corruptValue(golden, rng)
+		for i := 0; i < k; i++ {
+			votes[i] = shared
+		}
+	}
+	for i := k; i < f.n; i++ {
+		votes[i] = golden
+	}
+	o := tally(votes, golden)
+	f.rounds++
+	if o.Failed() {
+		f.failures++
+	}
+	return o
+}
+
+// RoundShared is the reference-loop idiom of RoundColluding: corrupted
+// reports, per replica index, membership in the colluding group, and
+// every member casts the same wrong value, drawn once from rng on the
+// first corrupted replica. Ballots are heap-allocated per round, like
+// Round. The ballot values and the rng consumption are identical to
+// RoundColluding(input, k, rng) when corrupted is i < k, which is what
+// the differential replay asserts.
+func (f *Farm) RoundShared(input uint64, corrupted func(i int) bool, rng *xrand.Rand) Outcome {
+	golden := f.method(input)
+	votes := make([]uint64, f.n)
+	drawn := false
+	var shared uint64
+	for i := range votes {
+		votes[i] = golden
+		if corrupted != nil && corrupted(i) {
+			if !drawn {
+				shared = corruptValue(golden, rng)
+				drawn = true
+			}
+			votes[i] = shared
+		}
+	}
+	o := tally(votes, golden)
+	f.rounds++
+	if o.Failed() {
+		f.failures++
+	}
+	return o
+}
+
 // corruptValue produces a value guaranteed to differ from golden.
 func corruptValue(golden uint64, rng *xrand.Rand) uint64 {
 	if rng == nil {

@@ -38,6 +38,11 @@ type Watchdog struct {
 	gen   uint64
 	fires int64
 	beats int64
+	// skew is the watchdog's local-clock offset: a positive skew means
+	// the watchdog's clock runs ahead of the heartbeat timeline, so a
+	// perfectly live task looks older than it is and a skew past the
+	// deadline fires the watchdog spuriously. See SetSkew.
+	skew simclock.Time
 }
 
 // New builds a watchdog. onFire runs on every firing; it may be nil.
@@ -76,9 +81,10 @@ func (w *Watchdog) Start(s *simclock.Scheduler) {
 	})
 }
 
-// check fires if the watched task has been silent past the deadline.
+// check fires if the watched task has been silent past the deadline,
+// as judged by the watchdog's own (possibly skewed) clock.
 func (w *Watchdog) check(now simclock.Time) {
-	if now-w.lastBeat <= w.cfg.Deadline {
+	if now+w.skew-w.lastBeat <= w.cfg.Deadline {
 		return
 	}
 	w.fires++
@@ -86,6 +92,19 @@ func (w *Watchdog) check(now simclock.Time) {
 		w.onFire(now)
 	}
 }
+
+// SetSkew offsets the watchdog's local clock by d virtual time units:
+// every subsequent check judges silence as if the current time were
+// now+d. It models the clock-skew fault of distributed heartbeating —
+// a watchdog whose clock drifts ahead of the watched task's sees
+// heartbeats age prematurely and, once the skew exceeds the deadline
+// slack, fires on a perfectly healthy task. Negative skews (a lagging
+// watchdog clock, tolerating longer silences) are accepted too. Skew
+// can be changed at any time; it takes effect at the next check.
+func (w *Watchdog) SetSkew(d simclock.Time) { w.skew = d }
+
+// Skew reports the watchdog's current local-clock offset.
+func (w *Watchdog) Skew() simclock.Time { return w.skew }
 
 // Beat records a heartbeat from the watched task at the given virtual
 // time.
@@ -108,11 +127,16 @@ type State struct {
 	LastBeat simclock.Time
 	// Beats and Fires are the cumulative counters.
 	Beats, Fires int64
+	// Skew is the local-clock offset in force at snapshot time (see
+	// SetSkew). Zero for snapshots written before skew existed, which
+	// restores the historical behaviour.
+	Skew simclock.Time
 }
 
-// ExportState captures the watchdog's counters and heartbeat watermark.
+// ExportState captures the watchdog's counters, heartbeat watermark,
+// and clock skew.
 func (w *Watchdog) ExportState() State {
-	return State{LastBeat: w.lastBeat, Beats: w.beats, Fires: w.fires}
+	return State{LastBeat: w.lastBeat, Beats: w.beats, Fires: w.fires, Skew: w.skew}
 }
 
 // RestoreState rewinds the watchdog to a previously exported state. Call
@@ -124,6 +148,7 @@ func (w *Watchdog) RestoreState(st State) error {
 	w.lastBeat = st.LastBeat
 	w.beats = st.Beats
 	w.fires = st.Fires
+	w.skew = st.Skew
 	return nil
 }
 
