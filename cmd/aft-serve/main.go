@@ -16,7 +16,16 @@
 //	POST /jobs/{id}/cancel   cancel (running campaigns checkpoint first)
 //	GET  /jobs/{id}/events   progress as Server-Sent Events
 //	GET  /metricz            text metrics exposition
-//	GET  /healthz            liveness and job-state counts
+//	GET  /healthz            liveness, lifecycle phase, job-state counts
+//
+// Fleet protocol (for aft-worker processes; fenced leases make every
+// write safe against dead workers' delayed packets):
+//
+//	POST /v1/lease                 lease the next runnable job
+//	POST /v1/jobs/{id}/renew       heartbeat (and learn of cancellation)
+//	PUT  /v1/jobs/{id}/checkpoint  stream a campaign snapshot back
+//	POST /v1/jobs/{id}/complete    hand in a terminal result
+//	GET  /v1/workers               fleet worker registry
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: every running
 // campaign writes a final checkpoint and parks, and the next aft-serve
@@ -63,14 +72,20 @@ func run(args []string, stdout io.Writer) error {
 	store := fs.String("store", "aft-store", "job-store directory (created if absent)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = one per CPU)")
 	ckptEvery := fs.Int64("checkpoint-every", 0, "campaign snapshot cadence in rounds (0 = 100000)")
+	coordinator := fs.Bool("coordinator", false, "pure-coordinator mode: run no local workers; jobs execute only on leased aft-worker processes")
+	leaseTTL := fs.Duration("lease-ttl", 0, "fleet lease duration between heartbeats (0 = 10s)")
+	shardRounds := fs.Int64("shard-rounds", 0, "max campaign rounds per lease; longer campaigns are sharded across the fleet (0 = whole campaign per lease)")
 	if done, err := cli.Parse(fs, args, stdout); done {
 		return err
 	}
 
 	srv, err := jobs.NewServer(jobs.Options{
-		Dir:             *store,
-		Workers:         *workers,
-		CheckpointEvery: *ckptEvery,
+		Dir:              *store,
+		Workers:          *workers,
+		CheckpointEvery:  *ckptEvery,
+		DisableLocalPool: *coordinator,
+		LeaseTTL:         *leaseTTL,
+		ShardRounds:      *shardRounds,
 	})
 	if err != nil {
 		return err

@@ -40,10 +40,23 @@ type ListReply struct {
 
 // HealthReply is the body of GET /healthz.
 type HealthReply struct {
-	OK      bool          `json:"ok"`
+	OK bool `json:"ok"`
+	// Status is the server's lifecycle phase: "recovering" while the
+	// startup replay of campaign checkpoints is still running (no work
+	// is handed out, locally or to the fleet), "ready" once it
+	// finishes, "stopping" during graceful shutdown. Fleet workers poll
+	// this and must not lease until it reads "ready".
+	Status  string        `json:"status"`
 	Workers int           `json:"workers"`
 	Jobs    map[State]int `json:"jobs"`
 }
+
+// Health status strings reported by GET /healthz.
+const (
+	HealthRecovering = "recovering"
+	HealthReady      = "ready"
+	HealthStopping   = "stopping"
+)
 
 // sseInterval is the progress-event cadence of GET /jobs/{id}/events.
 // A variable so tests stream fast.
@@ -60,6 +73,14 @@ func (s *Server) initHTTP() {
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+
+	// The /v1 worker protocol (fleet.go): stateless workers lease jobs,
+	// heartbeat, stream checkpoints back, and hand in results.
+	s.mux.HandleFunc("POST /v1/lease", s.handleLease)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/renew", s.handleRenew)
+	s.mux.HandleFunc("PUT /v1/jobs/{id}/checkpoint", s.handleUpload)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/complete", s.handleComplete)
+	s.mux.HandleFunc("GET /v1/workers", s.handleWorkers)
 }
 
 // ServeHTTP implements http.Handler.
@@ -214,8 +235,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	for _, st := range s.List() {
 		counts[st.State]++
 	}
+	status := HealthReady
+	switch {
+	case s.stopping():
+		status = HealthStopping
+	case !s.Ready():
+		status = HealthRecovering
+	}
 	writeJSON(w, http.StatusOK, HealthReply{
-		OK:      !s.stopping(),
+		OK:      status == HealthReady,
+		Status:  status,
 		Workers: s.opts.Workers,
 		Jobs:    counts,
 	})

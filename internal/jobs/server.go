@@ -6,18 +6,17 @@ package jobs
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aft/internal/experiments"
+	"aft/internal/jobs/lease"
 	"aft/internal/metrics"
 	"aft/internal/scenario"
-	"aft/internal/scenario/gen"
 )
 
 // Options configures a Server.
@@ -33,6 +32,31 @@ type Options struct {
 	// or kill loses at most this many rounds of recomputation per
 	// campaign, never any completed job.
 	CheckpointEvery int64
+
+	// DisableLocalPool runs the server as a pure coordinator: no local
+	// worker goroutines, so jobs execute only when fleet workers lease
+	// them over the /v1 protocol (see fleet.go). The client-facing API
+	// is unchanged.
+	DisableLocalPool bool
+	// LeaseTTL is how long a fleet worker's lease on a job lasts
+	// between renewals; values <= 0 select lease.DefaultTTL. Workers
+	// heartbeat at a third of this, so it bounds how long a dead
+	// worker's job stays stuck before requeueing.
+	LeaseTTL time.Duration
+	// ShardRounds caps how many campaign rounds a single lease grant
+	// covers. A campaign longer than this is cut into a SplitCampaign
+	// shard chain: each lease runs one shard from the previous shard's
+	// checkpoint and hands the job back, so one large campaign spreads
+	// across the fleet while the stitched transcript stays
+	// byte-identical to a single-process run. Zero means a lease covers
+	// the whole campaign.
+	ShardRounds int64
+
+	// testHoldRecovery is a test-only gate (settable only from inside
+	// the package): when non-nil, the recovery replay goroutine blocks
+	// on it before replaying checkpoints and marking the server ready,
+	// holding the server observably in the "recovering" health state.
+	testHoldRecovery chan struct{}
 
 	// testHaltAfter is a test-only crash simulator (settable only from
 	// inside the package): when positive, the worker that writes that
@@ -70,6 +94,15 @@ type job struct {
 	cancel     atomic.Bool
 	rounds     atomic.Int64 // work completed so far
 	ckptRounds atomic.Int64 // rounds covered by the last durable checkpoint
+
+	// runTo is the round the current lease is expected to reach (the
+	// shard end granted to a fleet worker); meaningful only while the
+	// job is leased.
+	runTo atomic.Int64
+	// uploadMu serializes fleet checkpoint uploads for this job, so a
+	// fence check and the store write it guards are atomic with respect
+	// to a competing (newer-leased) uploader.
+	uploadMu sync.Mutex
 
 	// restored carries the campaign recover() already rebuilt from the
 	// job's on-disk checkpoint, so the worker that picks the job up
@@ -114,8 +147,15 @@ type Server struct {
 	order  []string // job IDs in submission order
 	queue  []*job   // FIFO of runnable jobs
 	closed bool
+	ready  bool // recovery replay finished; workers may run and lease
 	seq    int64
 	notes  []string // recovery notes from the startup scan
+
+	// leases is the fleet's fenced lease table; fleetWorkers is the
+	// registry of every worker name that has ever leased, keyed by
+	// name and guarded by mu.
+	leases       *lease.Table
+	fleetWorkers map[string]*WorkerInfo
 
 	wg sync.WaitGroup
 
@@ -126,6 +166,15 @@ type Server struct {
 	checkpointsWritten   metrics.AtomicCounter
 	roundsRun            metrics.AtomicCounter
 	runningJobs          metrics.Gauge
+
+	leasesGranted, leasesExpired metrics.AtomicCounter
+	fencedRejects                metrics.AtomicCounter
+	remoteUploads                metrics.AtomicCounter
+	remoteCompletions            metrics.AtomicCounter
+
+	// readyCh is closed when recovery replay completes and the server
+	// becomes ready.
+	readyCh chan struct{}
 
 	// closing is closed when Close begins, so long-lived streams (SSE)
 	// observe shutdown without polling.
@@ -153,27 +202,169 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.CheckpointEvery <= 0 {
 		opts.CheckpointEvery = defaultCheckpointEvery
 	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = lease.DefaultTTL
+	}
 	opts.Workers = experiments.Workers(opts.Workers)
 	s := &Server{
-		opts:    opts,
-		store:   st,
-		cache:   cache,
-		reg:     &metrics.Registry{},
-		jobs:    make(map[string]*job),
-		closing: make(chan struct{}),
-		halted:  make(chan struct{}),
+		opts:         opts,
+		store:        st,
+		cache:        cache,
+		reg:          &metrics.Registry{},
+		jobs:         make(map[string]*job),
+		fleetWorkers: make(map[string]*WorkerInfo),
+		readyCh:      make(chan struct{}),
+		closing:      make(chan struct{}),
+		halted:       make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.leases = lease.NewTable(opts.LeaseTTL, nil)
 	s.registerMetrics()
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
 	s.initHTTP()
-	for i := 0; i < opts.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	s.wg.Add(2)
+	go s.replay()
+	go s.reaper()
+	if !opts.DisableLocalPool {
+		for i := 0; i < opts.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
 	}
 	return s, nil
+}
+
+// replay is the asynchronous half of recovery: it restores each queued
+// job's campaign checkpoint (so resumption costs nothing when a worker
+// picks the job up) and then marks the server ready. Until it finishes,
+// /healthz reports "recovering" and neither the local pool nor fleet
+// leasing hands out work — a worker must never recompute rounds a
+// checkpoint already covers.
+func (s *Server) replay() {
+	defer s.wg.Done()
+	defer s.markReady()
+	if hold := s.opts.testHoldRecovery; hold != nil {
+		select {
+		case <-hold:
+		case <-s.closing:
+			return
+		}
+	}
+	s.mu.Lock()
+	pending := append([]*job(nil), s.queue...)
+	s.mu.Unlock()
+	for _, j := range pending {
+		snap := s.store.readCheckpoint(j.id)
+		if snap == nil {
+			continue
+		}
+		// Only a checkpoint that actually restores parks the job as
+		// checkpointed — and its round counters are loaded so status and
+		// cancel tell the truth before a worker resumes it. One that
+		// decodes but fails the campaign cross-checks is discarded here
+		// exactly as a worker would discard it: the job recomputes from
+		// round zero rather than failing or lying.
+		c, err := experiments.RestoreCampaign(snap)
+		s.mu.Lock()
+		if err != nil {
+			s.notes = append(s.notes,
+				fmt.Sprintf("job %s: unusable checkpoint (%v); recomputing from round zero", j.id, err))
+		} else if j.state == StateQueued {
+			j.state = StateCheckpointed
+			j.restored = c
+			j.rounds.Store(c.Rounds())
+			j.ckptRounds.Store(c.Rounds())
+		}
+		s.mu.Unlock()
+	}
+}
+
+// markReady transitions the server from recovering to ready exactly
+// once, waking the local pool and unblocking WaitReady.
+func (s *Server) markReady() {
+	s.mu.Lock()
+	if !s.ready {
+		s.ready = true
+		close(s.readyCh)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Ready reports whether recovery replay has finished; until then the
+// server accepts submissions and serves status but hands out no work.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ready
+}
+
+// WaitReady blocks until recovery replay finishes or the context ends.
+func (s *Server) WaitReady(ctx context.Context) error {
+	select {
+	case <-s.readyCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// reaper periodically expires overdue fleet leases and requeues their
+// jobs from the last durable checkpoint. The dead holder's token is
+// already fenced by the expiry, so a late write from it cannot clobber
+// the requeued job's progress.
+func (s *Server) reaper() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.opts.LeaseTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.closing:
+			return
+		case <-tick.C:
+			s.requeueExpired(s.leases.Expire())
+		}
+	}
+}
+
+// requeueExpired returns each expired lease's job to the queue (or
+// finalizes it, if cancellation arrived while the dead worker held it).
+func (s *Server) requeueExpired(expired []lease.Lease) {
+	for _, l := range expired {
+		s.leasesExpired.Inc()
+		s.mu.Lock()
+		if w, ok := s.fleetWorkers[l.Worker]; ok {
+			w.Expired++
+			w.Active--
+		}
+		j, ok := s.jobs[l.Job]
+		if !ok || j.state != StateRunning {
+			s.mu.Unlock()
+			continue
+		}
+		cancelled := j.cancel.Load()
+		if !cancelled {
+			if j.ckptRounds.Load() > 0 {
+				j.state = StateCheckpointed
+			} else {
+				j.state = StateQueued
+			}
+			j.restored = nil
+			j.runTo.Store(0)
+			s.queue = append(s.queue, j)
+			s.cond.Signal()
+		}
+		s.mu.Unlock()
+		if cancelled {
+			s.finalize(j, &Result{
+				ID: j.id, Kind: j.spec.Kind, State: StateCancelled,
+				Error:  "cancelled by request",
+				Rounds: j.ckptRounds.Load(),
+			})
+		}
+	}
 }
 
 // registerMetrics wires the server counters into the registry /metricz
@@ -188,6 +379,17 @@ func (s *Server) registerMetrics() {
 	s.reg.RegisterCounter("aft_checkpoints_written_total", &s.checkpointsWritten)
 	s.reg.RegisterCounter("aft_rounds_executed_total", &s.roundsRun)
 	s.reg.RegisterGauge("aft_jobs_running", &s.runningJobs)
+	s.reg.RegisterCounter("aft_leases_granted_total", &s.leasesGranted)
+	s.reg.RegisterCounter("aft_leases_expired_total", &s.leasesExpired)
+	s.reg.RegisterCounter("aft_fenced_rejects_total", &s.fencedRejects)
+	s.reg.RegisterCounter("aft_remote_uploads_total", &s.remoteUploads)
+	s.reg.RegisterCounter("aft_remote_completions_total", &s.remoteCompletions)
+	s.reg.Register("aft_leases_active", func() int64 { return int64(s.leases.Len()) })
+	s.reg.Register("aft_fleet_workers", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.fleetWorkers))
+	})
 	s.reg.Register("aft_jobs_queued", func() int64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -236,25 +438,11 @@ func (s *Server) recover() error {
 			j.rounds.Store(r.result.Rounds)
 			close(j.done)
 		} else {
+			// Checkpoint replay happens asynchronously (see replay), so
+			// startup stays fast no matter how many campaigns are
+			// parked; the job re-enters the queue immediately but no
+			// worker sees it until the server is ready.
 			j.state = StateQueued
-			if snap := s.store.readCheckpoint(r.id); snap != nil {
-				// Only a checkpoint that actually restores parks the
-				// job as checkpointed — and its round counters are
-				// loaded so status and cancel tell the truth before a
-				// worker resumes it. One that decodes but fails the
-				// campaign cross-checks is discarded here exactly as
-				// the worker would discard it: the job recomputes from
-				// round zero rather than failing or lying.
-				if c, err := experiments.RestoreCampaign(snap); err == nil {
-					j.state = StateCheckpointed
-					j.restored = c
-					j.rounds.Store(c.Rounds())
-					j.ckptRounds.Store(c.Rounds())
-				} else {
-					s.notes = append(s.notes,
-						fmt.Sprintf("job %s: unusable checkpoint (%v); recomputing from round zero", r.id, err))
-				}
-			}
 			s.queue = append(s.queue, j)
 		}
 		s.jobs[j.id] = j
@@ -511,17 +699,29 @@ func (s *Server) next() *job {
 		if s.closed {
 			return nil
 		}
-		for len(s.queue) > 0 {
-			j := s.queue[0]
-			s.queue = s.queue[1:]
-			if j.state.Terminal() { // cancelled while queued
-				continue
+		if s.ready { // no work is handed out while recovering
+			if j := s.popLocked(); j != nil {
+				return j
 			}
-			j.state = StateRunning
-			return j
 		}
 		s.cond.Wait()
 	}
+}
+
+// popLocked removes and returns the first runnable job from the queue,
+// marking it running; nil when the queue holds none. The caller holds
+// s.mu.
+func (s *Server) popLocked() *job {
+	for len(s.queue) > 0 {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		if j.state.Terminal() { // cancelled while queued
+			continue
+		}
+		j.state = StateRunning
+		return j
+	}
+	return nil
 }
 
 // execute runs one job to a terminal state, a parked checkpoint, or a
@@ -580,17 +780,6 @@ func (s *Server) fail(j *job, err error) {
 		ID: j.id, Kind: j.spec.Kind, State: StateFailed,
 		Error: err.Error(), Rounds: j.rounds.Load(),
 	})
-}
-
-// campaignSummary is the structured half of a campaign result.
-type campaignSummary struct {
-	Rounds        int64   `json:"rounds"`
-	Failures      int64   `json:"failures"`
-	Raises        int64   `json:"raises"`
-	Lowers        int64   `json:"lowers"`
-	ReplicaRounds int64   `json:"replica_rounds"`
-	MinFraction   float64 `json:"min_fraction"`
-	Resumed       bool    `json:"resumed,omitempty"`
 }
 
 // runCampaign executes a Fig. 6/7 campaign in checkpointed chunks. It
@@ -673,26 +862,7 @@ func (s *Server) runCampaign(j *job) bool {
 		}
 	}
 
-	res := c.Result()
-	summary, err := json.Marshal(campaignSummary{
-		Rounds:        res.Rounds,
-		Failures:      res.Failures,
-		Raises:        res.Raises,
-		Lowers:        res.Lowers,
-		ReplicaRounds: res.ReplicaRounds,
-		MinFraction:   res.MinFraction,
-		Resumed:       resumed,
-	})
-	if err != nil {
-		s.fail(j, err)
-		return true
-	}
-	s.finalize(j, &Result{
-		ID: j.id, Kind: j.spec.Kind, State: StateDone,
-		Rounds:     res.Rounds,
-		Transcript: renderCampaign(cfg, res),
-		Summary:    summary,
-	})
+	s.finalize(j, CampaignResult(j.id, cfg, c.Result(), resumed))
 	return true
 }
 
@@ -711,155 +881,15 @@ func (s *Server) writeCampaignCheckpoint(j *job, c *experiments.Campaign) error 
 	return nil
 }
 
-// renderCampaign renders the campaign's figure transcripts: the Fig. 6
-// staircase when sampling was configured, always the Fig. 7 histogram.
-func renderCampaign(cfg experiments.AdaptiveRunConfig, res experiments.AdaptiveRunResult) string {
-	out := ""
-	if cfg.SampleEvery > 0 {
-		out += experiments.RenderFig6(res)
-	}
-	return out + experiments.RenderFig7(res, cfg.Policy.Min)
-}
-
 // runSweep executes one ablation grid through the shared memo cache.
 // Grids are atomic units of work: a cancel request arriving mid-grid is
 // outrun by the computation (every finished cell is cached, so nothing
 // is wasted either way).
 func (s *Server) runSweep(j *job) {
-	sw := j.spec.Sweep
-	var (
-		transcript string
-		summary    any
-		cells      int
-		err        error
-	)
-	switch sw.Grid {
-	case "e8":
-		var rows []experiments.E8Row
-		rows, err = experiments.RunE8ParallelCached(sw.Steps, sweepSeed(sw.Seed), 1, s.cache)
-		if err == nil {
-			transcript, summary, cells = experiments.RenderE8(rows), rows, len(rows)
-		}
-	case "e9":
-		cfg := experiments.DefaultE9Config()
-		if sw.E9 != nil {
-			cfg = *sw.E9
-		}
-		var rows []experiments.E9Row
-		rows, err = experiments.RunE9ParallelCached(cfg, 1, s.cache)
-		if err == nil {
-			transcript, summary, cells = experiments.RenderE9(rows), rows, len(rows)
-		}
-	case "e10":
-		var rows []experiments.E10Row
-		rows, err = experiments.RunE10ParallelCached(sw.Steps, sweepSeed(sw.Seed), sw.LowerAfters, 1, s.cache)
-		if err == nil {
-			transcript, summary, cells = experiments.RenderE10(rows), rows, len(rows)
-		}
-	case "chaos":
-		rep := gen.Campaign(sweepSeed(sw.Seed), sw.Count, gen.Options{Diff: true, Shrink: true})
-		transcript, summary, cells = renderChaos(rep), rep, rep.Specs
-	default:
-		err = fmt.Errorf("jobs: unknown sweep grid %q", sw.Grid)
-	}
-	if err != nil {
-		s.fail(j, err)
-		return
-	}
-	data, err := json.Marshal(summary)
-	if err != nil {
-		s.fail(j, err)
-		return
-	}
-	s.finalize(j, &Result{
-		ID: j.id, Kind: j.spec.Kind, State: StateDone,
-		Rounds:     int64(cells),
-		Transcript: transcript,
-		Summary:    data,
-	})
+	s.finalize(j, ExecuteSweep(j.id, j.spec.Sweep, s.cache))
 }
 
-// sweepSeed applies the figures' default seed to unset sweep seeds.
-func sweepSeed(seed uint64) uint64 {
-	if seed == 0 {
-		return 1906
-	}
-	return seed
-}
-
-// renderChaos formats a fuzz-campaign report the way aft-chaos -gen
-// prints it, shrunk reproducers inline, so a finding in a sweep job's
-// transcript is immediately committable as a regression golden.
-func renderChaos(rep gen.Report) string {
-	var b strings.Builder
-	for _, f := range rep.Findings {
-		fmt.Fprintf(&b, "FAIL %s [%s]: %s\n", f.Spec.Name, f.Signature, f.Detail)
-		if f.Shrunk != nil {
-			if data, err := f.Shrunk.Encode(); err == nil {
-				fmt.Fprintf(&b, "  shrunk reproducer (%d evals):\n%s", f.ShrinkEvals, data)
-			}
-		}
-	}
-	fmt.Fprintf(&b, "gen: seed=%d specs=%d findings=%d\n", rep.Seed, rep.Specs, len(rep.Findings))
-	return b.String()
-}
-
-// scenarioSummary is the structured half of a scenario result.
-type scenarioSummary struct {
-	Name              string   `json:"name"`
-	Seed              uint64   `json:"seed"`
-	Horizon           int64    `json:"horizon"`
-	OrganRounds       int64    `json:"organ_rounds"`
-	Resizes           int64    `json:"resizes"`
-	RejectedResizes   int64    `json:"rejected_resizes"`
-	WatchdogFires     int64    `json:"watchdog_fires"`
-	InvariantsChecked int64    `json:"invariants_checked"`
-	Violations        []string `json:"violations,omitempty"`
-}
-
-// runScenario executes one chaos scenario. Scenarios are deterministic
-// and short relative to campaigns, so they are atomic units: durability
-// comes from the persisted spec (a crashed scenario re-runs from its
-// seed and produces the identical transcript). A scenario that violates
-// an invariant fails the job, mirroring aft-chaos's non-zero exit.
+// runScenario executes one chaos scenario as an atomic unit of work.
 func (s *Server) runScenario(j *job) {
-	spec, opt, err := j.spec.Scenario.resolve()
-	if err != nil {
-		s.fail(j, err)
-		return
-	}
-	res, err := scenario.Run(spec, opt)
-	if err != nil {
-		s.fail(j, err)
-		return
-	}
-	sum := scenarioSummary{
-		Name:              spec.Name,
-		Seed:              res.Seed,
-		Horizon:           spec.Horizon,
-		OrganRounds:       res.OrganRounds,
-		Resizes:           res.Resizes,
-		RejectedResizes:   res.RejectedResizes,
-		WatchdogFires:     res.WatchdogFires,
-		InvariantsChecked: res.InvariantsChecked,
-	}
-	for _, v := range res.Violations {
-		sum.Violations = append(sum.Violations, v.String())
-	}
-	data, merr := json.Marshal(sum)
-	if merr != nil {
-		s.fail(j, merr)
-		return
-	}
-	out := &Result{
-		ID: j.id, Kind: j.spec.Kind, State: StateDone,
-		Rounds:     spec.Horizon,
-		Transcript: res.Transcript,
-		Summary:    data,
-	}
-	if n := len(res.Violations); n > 0 {
-		out.State = StateFailed
-		out.Error = fmt.Sprintf("%d invariant violation(s): %s", n, res.Violations[0].String())
-	}
-	s.finalize(j, out)
+	s.finalize(j, ExecuteScenario(j.id, j.spec.Scenario))
 }

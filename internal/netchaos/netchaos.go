@@ -1,0 +1,271 @@
+// Package netchaos is a test-only flaky HTTP proxy: the network
+// analogue of internal/faults. Distributed tests put it between a
+// worker fleet and the coordinator and it injects the failures real
+// networks produce — dropped requests (the client sees a transport
+// error, never a status code), delayed requests, duplicated requests
+// (the backend sees the same delivery twice; only one response reaches
+// the client), and a full link sever that stays down until healed.
+//
+// The fault schedule is seed-deterministic: every request consumes a
+// fixed number of draws from one internal/xrand stream in arrival
+// order, so two proxies built with the same Config make identical
+// drop/duplicate/delay decisions for the i-th request regardless of the
+// probabilities chosen. Under concurrent clients the arrival order
+// itself is scheduler-dependent, so tests that assert an exact schedule
+// drive the proxy sequentially; tests that only need "the same faults
+// happened" compare Stats across runs.
+//
+// Sever and Heal are manual, not drawn: a partition is a scenario
+// event the harness scripts at a chosen moment, exactly like the
+// scripted fault model in internal/faults.
+package netchaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"aft/internal/xrand"
+)
+
+// Config parameterizes a Proxy. The zero value forwards everything
+// faithfully (only Sever/Heal then inject faults).
+type Config struct {
+	// Seed keys the fault schedule; two proxies with equal Config make
+	// identical decisions in arrival order.
+	Seed uint64
+	// Drop is the probability a request is dropped: the connection is
+	// severed without a response, so the client observes a transport
+	// error.
+	Drop float64
+	// Dup is the probability a request is delivered to the backend
+	// twice. The duplicate is sent first and its response discarded —
+	// the backend must treat redelivery idempotently.
+	Dup float64
+	// Delay is the probability a request is held before delivery.
+	Delay float64
+	// MaxDelay bounds the injected hold time; a delayed request sleeps
+	// a deterministic fraction of it. Zero with Delay > 0 means delay
+	// decisions are drawn (and counted) but cost no wall time.
+	MaxDelay time.Duration
+}
+
+// validate rejects probabilities outside [0, 1].
+func (c Config) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"Drop", c.Drop}, {"Dup", c.Dup}, {"Delay", c.Delay}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("netchaos: %s probability %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("netchaos: MaxDelay %v must be non-negative", c.MaxDelay)
+	}
+	return nil
+}
+
+// Stats counts the proxy's decisions. Severed counts requests refused
+// while the link was down; Dropped counts only probabilistic drops.
+type Stats struct {
+	// Requests is every request that reached the proxy.
+	Requests int64
+	// Dropped is requests killed by a Drop draw.
+	Dropped int64
+	// Duplicated is requests delivered twice.
+	Duplicated int64
+	// Delayed is requests held before delivery.
+	Delayed int64
+	// Severed is requests refused while the link was severed.
+	Severed int64
+}
+
+// Proxy is the flaky reverse proxy; serve it with httptest.NewServer
+// and point the client at its URL. It implements http.Handler.
+type Proxy struct {
+	target string
+	client *http.Client
+
+	mu      sync.Mutex
+	rng     *xrand.Rand
+	cfg     Config
+	severed bool
+	stats   Stats
+}
+
+// maxProxyBody bounds a buffered request body (buffering is what makes
+// duplicate delivery possible).
+const maxProxyBody = 64 << 20
+
+// New builds a proxy forwarding to the target base URL (scheme://host).
+func New(target string, cfg Config) (*Proxy, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if target == "" {
+		return nil, fmt.Errorf("netchaos: empty target")
+	}
+	return &Proxy{
+		target: target,
+		client: &http.Client{Timeout: 2 * time.Minute},
+		cfg:    cfg,
+		rng:    xrand.New(cfg.Seed),
+	}, nil
+}
+
+// Sever takes the link down: every request is refused (a transport
+// error from the client's view) until Heal.
+func (p *Proxy) Sever() {
+	p.mu.Lock()
+	p.severed = true
+	p.mu.Unlock()
+}
+
+// Heal restores a severed link.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.severed = false
+	p.mu.Unlock()
+}
+
+// Severed reports whether the link is currently down.
+func (p *Proxy) Severed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.severed
+}
+
+// Stats returns a copy of the decision counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// decision is one request's drawn fate.
+type decision struct {
+	drop, dup, delayed bool
+	delay              time.Duration
+	severed            bool
+}
+
+// decide consumes exactly four draws per request — drop, dup, delay,
+// and the delay fraction — whatever the probabilities are, so the
+// schedule position of request i depends only on Seed and i.
+func (p *Proxy) decide() decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var d decision
+	d.drop = p.rng.Float64() < p.cfg.Drop
+	d.dup = p.rng.Float64() < p.cfg.Dup
+	d.delayed = p.rng.Float64() < p.cfg.Delay
+	frac := p.rng.Float64()
+	if d.delayed {
+		d.delay = time.Duration(frac * float64(p.cfg.MaxDelay))
+	}
+	d.severed = p.severed
+	p.stats.Requests++
+	switch {
+	case d.severed:
+		p.stats.Severed++
+	case d.drop:
+		p.stats.Dropped++
+	default:
+		if d.dup {
+			p.stats.Duplicated++
+		}
+		if d.delayed {
+			p.stats.Delayed++
+		}
+	}
+	return d
+}
+
+// ServeHTTP implements the flaky forwarding.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody))
+	if err != nil {
+		http.Error(w, "netchaos: read body: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	d := p.decide()
+	if d.severed || d.drop {
+		p.kill(w)
+		return
+	}
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	deliveries := 1
+	if d.dup {
+		deliveries = 2
+	}
+	var resp *http.Response
+	var respBody []byte
+	for i := 0; i < deliveries; i++ {
+		resp, respBody, err = p.forward(r, body)
+		if err != nil {
+			// The backend itself failed; expose that as a transport-ish
+			// 502 rather than inventing a response.
+			http.Error(w, "netchaos: forward: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(respBody)
+}
+
+// kill terminates the client's connection without a response where the
+// transport allows it, so the client sees a network error, not an HTTP
+// status. Transports without hijack support get an emergency 502.
+func (p *Proxy) kill(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			_ = conn.Close()
+			return
+		}
+	}
+	http.Error(w, "netchaos: dropped", http.StatusBadGateway)
+}
+
+// forward makes one delivery of the buffered request to the backend.
+func (p *Proxy) forward(r *http.Request, body []byte) (*http.Response, []byte, error) {
+	out, err := http.NewRequestWithContext(r.Context(), r.Method,
+		p.target+r.URL.RequestURI(), readerOf(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, vs := range r.Header {
+		for _, v := range vs {
+			out.Header.Add(k, v)
+		}
+	}
+	resp, err := p.client.Do(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, data, nil
+}
+
+// readerOf wraps body for one delivery; nil for empty bodies keeps
+// GET-style requests body-less.
+func readerOf(body []byte) io.Reader {
+	if len(body) == 0 {
+		return nil
+	}
+	return bytes.NewReader(body)
+}

@@ -1,0 +1,229 @@
+package netchaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// backend is a counting echo server: it replies with its own hit count
+// for the request's X-Req header, so duplicate deliveries are visible
+// to both sides.
+type backend struct {
+	hits   atomic.Int64
+	server *httptest.Server
+	perReq map[string]*atomic.Int64
+}
+
+func newBackend(t *testing.T) *backend {
+	t.Helper()
+	b := &backend{perReq: make(map[string]*atomic.Int64)}
+	mux := http.NewServeMux()
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		b.hits.Add(1)
+		id := r.Header.Get("X-Req")
+		<-mu
+		c, ok := b.perReq[id]
+		if !ok {
+			c = &atomic.Int64{}
+			b.perReq[id] = c
+		}
+		mu <- struct{}{}
+		n := c.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		fmt.Fprintf(w, "id=%s deliveries=%d body=%s", id, n, body)
+	})
+	b.server = httptest.NewServer(mux)
+	t.Cleanup(b.server.Close)
+	return b
+}
+
+// through starts a proxy in front of the backend and returns its URL.
+func through(t *testing.T, b *backend, cfg Config) (*Proxy, string) {
+	t.Helper()
+	p, err := New(b.server.URL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p)
+	t.Cleanup(srv.Close)
+	return p, srv.URL
+}
+
+// testClient builds a client that opens a fresh connection per request:
+// Go's transport silently retries bodyless requests that die on a
+// reused keep-alive connection, which would hide drops from the
+// schedule assertions.
+func testClient() *http.Client {
+	return &http.Client{
+		Timeout:   10 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+}
+
+// outcomes drives n sequential GETs through the proxy and returns one
+// rune per request: 'k' delivered ok, 'x' transport error (dropped or
+// severed).
+func outcomes(t *testing.T, base string, n int) string {
+	t.Helper()
+	client := testClient()
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		req, err := http.NewRequest("GET", fmt.Sprintf("%s/r?i=%d", base, i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Req", fmt.Sprintf("req-%d", i))
+		resp, err := client.Do(req)
+		if err != nil {
+			sb.WriteByte('x')
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		sb.WriteByte('k')
+	}
+	return sb.String()
+}
+
+// TestSeedDeterministicSchedule runs the same request sequence through
+// two proxies built from the same config and asserts the fault
+// schedule — which requests dropped, how many duplicated and delayed —
+// is identical, and that a different seed produces a different one.
+func TestSeedDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, Drop: 0.3, Dup: 0.2, Delay: 0.4}
+	const n = 60
+
+	b1 := newBackend(t)
+	p1, u1 := through(t, b1, cfg)
+	got1 := outcomes(t, u1, n)
+
+	b2 := newBackend(t)
+	p2, u2 := through(t, b2, cfg)
+	got2 := outcomes(t, u2, n)
+
+	if got1 != got2 {
+		t.Fatalf("same seed, different drop schedule:\n a=%s\n b=%s", got1, got2)
+	}
+	if p1.Stats() != p2.Stats() {
+		t.Fatalf("same seed, different stats: %+v vs %+v", p1.Stats(), p2.Stats())
+	}
+	if !strings.Contains(got1, "x") || !strings.Contains(got1, "k") {
+		t.Fatalf("schedule not mixed at Drop=0.3: %s", got1)
+	}
+	if b1.hits.Load() != b2.hits.Load() {
+		t.Fatalf("backend hit counts differ: %d vs %d", b1.hits.Load(), b2.hits.Load())
+	}
+
+	b3 := newBackend(t)
+	p3, u3 := through(t, b3, Config{Seed: 43, Drop: 0.3, Dup: 0.2, Delay: 0.4})
+	if got3 := outcomes(t, u3, n); got3 == got1 && p3.Stats() == p1.Stats() {
+		t.Fatalf("different seeds produced the identical schedule: %s", got3)
+	}
+}
+
+// TestDelayScheduleIsDeterministic pins the delay decisions (not the
+// wall time) across same-seed runs, with MaxDelay=0 so the test costs
+// nothing.
+func TestDelayScheduleIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Delay: 0.5}
+	var counts []int64
+	for i := 0; i < 2; i++ {
+		b := newBackend(t)
+		p, u := through(t, b, cfg)
+		if got := outcomes(t, u, 40); strings.Contains(got, "x") {
+			t.Fatalf("delay-only proxy dropped requests: %s", got)
+		}
+		counts = append(counts, p.Stats().Delayed)
+	}
+	if counts[0] != counts[1] || counts[0] == 0 || counts[0] == 40 {
+		t.Fatalf("delayed counts %v: want equal and strictly between 0 and 40", counts)
+	}
+}
+
+// TestSeverThenHeal takes the link down mid-sequence and asserts every
+// in-window request fails with a transport error, then flows again
+// after healing.
+func TestSeverThenHeal(t *testing.T) {
+	b := newBackend(t)
+	p, u := through(t, b, Config{Seed: 1})
+
+	if got := outcomes(t, u, 5); got != "kkkkk" {
+		t.Fatalf("healthy link: %s", got)
+	}
+	p.Sever()
+	if !p.Severed() {
+		t.Fatal("Severed() false after Sever")
+	}
+	if got := outcomes(t, u, 5); got != "xxxxx" {
+		t.Fatalf("severed link let traffic through: %s", got)
+	}
+	p.Heal()
+	if p.Severed() {
+		t.Fatal("Severed() true after Heal")
+	}
+	if got := outcomes(t, u, 5); got != "kkkkk" {
+		t.Fatalf("healed link: %s", got)
+	}
+	st := p.Stats()
+	if st.Severed != 5 || st.Requests != 15 || st.Dropped != 0 {
+		t.Fatalf("stats after sever/heal: %+v", st)
+	}
+}
+
+// TestDuplicateDelivery forces Dup=1 and asserts the backend sees every
+// request twice while the client sees exactly one response — carrying
+// the second delivery's body, like a retransmit arriving after the
+// original.
+func TestDuplicateDelivery(t *testing.T) {
+	b := newBackend(t)
+	p, u := through(t, b, Config{Seed: 9, Dup: 1})
+
+	client := testClient()
+	const n = 4
+	for i := 0; i < n; i++ {
+		req, err := http.NewRequest("POST", u+"/submit", strings.NewReader("payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Req", fmt.Sprintf("dup-%d", i))
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		want := fmt.Sprintf("id=dup-%d deliveries=2 body=payload", i)
+		if string(body) != want {
+			t.Fatalf("response %d = %q, want %q", i, body, want)
+		}
+	}
+	if b.hits.Load() != 2*n {
+		t.Fatalf("backend saw %d deliveries, want %d", b.hits.Load(), 2*n)
+	}
+	if st := p.Stats(); st.Duplicated != n {
+		t.Fatalf("stats %+v, want %d duplicated", st, n)
+	}
+}
+
+// TestConfigValidation rejects out-of-range probabilities and targets.
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Drop: -0.1}, {Drop: 1.1}, {Dup: 2}, {Delay: -1}, {MaxDelay: -time.Second},
+	}
+	for _, cfg := range cases {
+		if _, err := New("http://x", cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New("", Config{}); err == nil {
+		t.Error("empty target accepted")
+	}
+}
