@@ -35,6 +35,15 @@
 // reporting aggregate lane-rounds/sec and the speedup over the scalar
 // single-core baseline. -batch-width W collapses the width axis to the
 // single value W. Not part of "all".
+//
+// -serve-load ignores -fig and runs the aft-serve load harness instead:
+// an in-process jobs server driven by -load-jobs concurrent burst
+// submitters spread across -load-clients client IDs plus one closed-loop
+// trickle client, once under the fifo baseline scheduler and once under
+// the fair scheduler. Both runs' p50/p99 submit-to-done latencies,
+// per-client fairness spread, and drop counters are appended to
+// -trajectory; -load-assert-fairness turns the expected fairness win
+// (fair trickle p99 below the fifo baseline's) into a hard check.
 package main
 
 import (
@@ -69,8 +78,30 @@ func run(args []string, stdout io.Writer) error {
 	benchOut := fs.String("bench-out", "BENCH_fig7.json", "where -fig bench7 writes its JSON snapshot")
 	cacheDir := fs.String("cache", "", "memoize E8/E9/E10 sweep cells in DIR, content-addressed by spec hash + seed (empty = no cache)")
 	trajectory := fs.String("trajectory", "BENCH_trajectory.json", "append-only perf history -fig bench7 extends (empty = skip)")
+	serveLoad := fs.Bool("serve-load", false, "run the aft-serve load harness (fifo baseline then fair scheduler) and append both results to -trajectory")
+	loadJobs := fs.Int("load-jobs", 1000, "serve-load: burst jobs, one concurrent submitter each")
+	loadClients := fs.Int("load-clients", 8, "serve-load: burst client IDs the submitters are spread across")
+	loadWorkers := fs.Int("load-workers", 2, "serve-load: server worker goroutines")
+	loadHorizon := fs.Int64("load-horizon", 500, "serve-load: scenario horizon per job (service time knob)")
+	loadTrickle := fs.Int("load-trickle", 16, "serve-load: closed-loop jobs from the one trickle client")
+	loadRate := fs.Float64("load-rate", 0, "serve-load: paced submissions/sec per burst submitter (0 = all at once)")
+	loadAssert := fs.Bool("load-assert-fairness", false, "serve-load: fail unless the fair run's trickle p99 beats the fifo baseline's")
 	if done, err := cli.Parse(fs, args, stdout); done {
 		return err
+	}
+
+	if *serveLoad {
+		return runServeLoad(serveLoadOptions{
+			Jobs:           *loadJobs,
+			Clients:        *loadClients,
+			Workers:        *loadWorkers,
+			Horizon:        *loadHorizon,
+			TrickleJobs:    *loadTrickle,
+			Rate:           *loadRate,
+			Seed:           *seed,
+			Trajectory:     *trajectory,
+			AssertFairness: *loadAssert,
+		}, stdout)
 	}
 
 	var cache *experiments.SweepCache
@@ -235,9 +266,12 @@ type trajectoryEntry struct {
 
 // appendTrajectory extends the perf-history file with one entry. The
 // file is a JSON array; a missing file starts a new history, a corrupt
-// one is an error (history should never be silently discarded).
-func appendTrajectory(path string, e trajectoryEntry) error {
-	var entries []trajectoryEntry
+// one is an error (history should never be silently discarded). The
+// history holds entries of several schemas (bench7, benchbatch,
+// serve-load), so existing entries pass through as raw JSON — an
+// appender must never strip fields it does not know about.
+func appendTrajectory(path string, e any) error {
+	var entries []json.RawMessage
 	data, err := os.ReadFile(path)
 	switch {
 	case err == nil:
@@ -248,7 +282,11 @@ func appendTrajectory(path string, e trajectoryEntry) error {
 	default:
 		return err
 	}
-	entries = append(entries, e)
+	raw, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	entries = append(entries, raw)
 	out, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		return err

@@ -245,8 +245,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		info.Active--
 		if !j.state.Terminal() {
 			j.state = StateQueued
-			s.queue = append(s.queue, j)
-			s.cond.Signal()
+			s.enqueueLocked(j, true)
 		}
 		s.mu.Unlock()
 		writeJSON(w, http.StatusConflict, errorReply{Error: err.Error()})
@@ -407,6 +406,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			wi.Uploads++
 		}
 		s.mu.Unlock()
+		s.publish(j) // progress: verified remote checkpoint landed
 	}
 
 	reply := UploadReply{Rounds: j.ckptRounds.Load()}
@@ -432,8 +432,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			j.state = StateCheckpointed
 			j.restored = c
 			j.runTo.Store(0)
-			s.queue = append(s.queue, j)
-			s.cond.Signal()
+			// Head of its client's queue: a shard hand-back continues an
+			// in-flight campaign rather than starting a new turn.
+			s.enqueueLocked(j, true)
 		}
 		s.mu.Unlock()
 	}

@@ -11,8 +11,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
+
+	"aft/internal/pubsub"
 )
 
 // maxBody bounds a submission body; campaign and scenario specs are a
@@ -36,6 +40,9 @@ type SubmitReply struct {
 // ListReply is the body of GET /jobs.
 type ListReply struct {
 	Jobs []Status `json:"jobs"`
+	// Total is the number of jobs matching the ?state= filter before
+	// ?limit=/?offset= pagination, so clients can page confidently.
+	Total int `json:"total"`
 }
 
 // HealthReply is the body of GET /healthz.
@@ -58,9 +65,17 @@ const (
 	HealthStopping   = "stopping"
 )
 
-// sseInterval is the progress-event cadence of GET /jobs/{id}/events.
-// A variable so tests stream fast.
+// sseInterval is the keepalive cadence of GET /jobs/{id}/events: how
+// often a stream re-emits the current status when no transition event
+// arrives. A variable so tests stream fast.
 var sseInterval = 500 * time.Millisecond
+
+// sseConnBuffer is each SSE connection's buffer of pending status
+// events. When a connection falls this far behind, further events are
+// dropped for it (counted in aft_sse_dropped_total) — the terminal
+// event is re-derived at stream end, so drops never lose the final
+// state.
+const sseConnBuffer = 16
 
 // initHTTP builds the request mux (Go 1.22+ method/wildcard patterns).
 func (s *Server) initHTTP() {
@@ -111,8 +126,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
 		return
 	}
+	// Admission control after validation (the client ID lives in the
+	// spec): over-rate clients get 429 with a Retry-After telling them
+	// when their bucket refills; other clients' buckets are untouched.
+	if ok, retry := s.limiter.allow(spec.Client); !ok {
+		s.rateLimited.Inc()
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+		writeJSON(w, http.StatusTooManyRequests,
+			errorReply{Error: fmt.Sprintf("rate limit exceeded for client %q", spec.Client)})
+		return
+	}
 	st, deduped, err := s.Submit(spec)
 	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorReply{Error: err.Error()})
+			return
+		}
 		code := http.StatusInternalServerError
 		if errors.Is(err, ErrShuttingDown) {
 			code = http.StatusServiceUnavailable
@@ -127,8 +157,53 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, SubmitReply{Status: st, Deduped: deduped})
 }
 
+// retryAfterSeconds renders a wait as a whole-second Retry-After value,
+// rounded up so a client that honours it never retries early; at least
+// 1 so "0" never invites a tight retry loop.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// listStates are the ?state= filter values GET /jobs accepts.
+var listStates = map[State]bool{
+	StateQueued: true, StateRunning: true, StateCheckpointed: true,
+	StateDone: true, StateFailed: true, StateCancelled: true,
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, ListReply{Jobs: s.List()})
+	q := r.URL.Query()
+	var state State
+	if v := q.Get("state"); v != "" {
+		state = State(v)
+		if !listStates[state] {
+			writeJSON(w, http.StatusBadRequest,
+				errorReply{Error: fmt.Sprintf("unknown state %q (want queued, running, checkpointed, done, failed, or cancelled)", v)})
+			return
+		}
+	}
+	limit, offset := 0, 0
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"limit", &limit}, {"offset", &offset}} {
+		v := q.Get(p.name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest,
+				errorReply{Error: fmt.Sprintf("bad %s %q (want a non-negative integer)", p.name, v)})
+			return
+		}
+		*p.dst = n
+	}
+	jobsPage, total := s.ListPage(state, offset, limit)
+	writeJSON(w, http.StatusOK, ListReply{Jobs: jobsPage, Total: total})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -171,12 +246,19 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams job progress as Server-Sent Events: one `data:`
-// line with a Status JSON per tick, a final event at the terminal
-// state, then EOF. Poll GET /jobs/{id} instead when an SSE client is
-// inconvenient — the payloads are identical.
+// line with a Status JSON per state transition or progress chunk
+// (pushed from the server's event bus), a keepalive snapshot every
+// sseInterval when nothing changes, a final event at the terminal
+// state, then EOF. Delivery is bounded: a consumer that cannot keep up
+// has intermediate events dropped (counted in aft_sse_dropped_total)
+// but always receives the terminal event, which is re-derived from the
+// job itself rather than trusted to the stream. Poll GET /jobs/{id}
+// instead when an SSE client is inconvenient — the payloads are
+// identical.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, ok := s.StatusOf(id); !ok {
+	j := s.jobByID(id)
+	if j == nil {
 		writeJSON(w, http.StatusNotFound, errorReply{Error: fmt.Sprintf("unknown job %s", id)})
 		return
 	}
@@ -185,49 +267,91 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorReply{Error: "streaming unsupported"})
 		return
 	}
+
+	// Subscribe before the first snapshot so no transition between the
+	// snapshot and the subscription is lost. The bus handler never
+	// blocks: when this connection's buffer is full the event is
+	// dropped and counted, so a stalled reader costs the workers
+	// nothing.
+	ch := make(chan Status, sseConnBuffer)
+	sub := s.events.Subscribe("jobs/"+id, func(m pubsub.Message) {
+		st, ok := m.Payload.(Status)
+		if !ok {
+			return
+		}
+		select {
+		case ch <- st:
+		default:
+			s.sseDropped.Inc()
+		}
+	})
+	defer s.events.Unsubscribe(sub)
+
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	ticker := time.NewTicker(sseInterval)
-	defer ticker.Stop()
-	emit := func() (terminal bool) {
-		st, ok := s.StatusOf(id)
-		if !ok {
-			return true
-		}
+	emit := func(st Status) bool {
 		data, err := json.Marshal(st)
 		if err != nil {
-			return true
+			return false
 		}
 		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
-			return true
+			return false
 		}
 		flusher.Flush()
-		return st.State.Terminal()
+		return true
 	}
-	for {
-		if emit() {
-			return
+	// final re-derives the authoritative current status — the gap-free
+	// terminal event, immune to bus drops.
+	final := func() {
+		if st, ok := s.StatusOf(id); ok {
+			emit(st)
 		}
+	}
+
+	st, ok := s.StatusOf(id)
+	if !ok || !emit(st) || st.State.Terminal() {
+		return
+	}
+	keepalive := time.NewTicker(sseInterval)
+	defer keepalive.Stop()
+	for {
 		select {
+		case st := <-ch:
+			if !emit(st) {
+				return
+			}
+			if st.State.Terminal() {
+				return
+			}
+		case <-j.done:
+			final()
+			return
 		case <-r.Context().Done():
 			return
 		case <-s.closing:
 			// Shutdown: send one last snapshot (the job is parking in
 			// checkpointed) and end the stream instead of pinning
 			// http.Server.Shutdown to its timeout.
-			emit()
+			final()
 			return
-		case <-ticker.C:
+		case <-keepalive.C:
+			cur, ok := s.StatusOf(id)
+			if !ok || !emit(cur) {
+				return
+			}
+			if cur.State.Terminal() {
+				return
+			}
 		}
 	}
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	_, _ = io.WriteString(w, s.reg.Text())
+	_, _ = io.WriteString(w, s.reg.Prometheus())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

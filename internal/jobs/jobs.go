@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"aft/internal/experiments"
+	"aft/internal/jobs/sched"
 	"aft/internal/scenario"
 )
 
@@ -124,10 +125,23 @@ type ScenarioSpec struct {
 	Seed uint64 `json:"seed,omitempty"`
 }
 
+// maxClientLen bounds the Client field: client IDs key scheduler rings
+// and rate-limit buckets, so an unbounded one is an unbounded map.
+const maxClientLen = 128
+
 // Spec is a complete job submission: a kind plus exactly the matching
-// payload field.
+// payload field, optionally tagged with the submitter's client ID and a
+// priority class for the fair-queue scheduler.
 type Spec struct {
 	Kind Kind `json:"kind"`
+	// Client identifies the submitter for per-client fair queuing and
+	// rate limiting. Jobs without a client share one anonymous queue.
+	// Both fields are omitempty so specs that predate them keep their
+	// content addresses.
+	Client string `json:"client,omitempty"`
+	// Priority is the scheduling class: "high", "normal" (the default
+	// when empty), or "low". See OPERATIONS.md "Serving under load".
+	Priority string `json:"priority,omitempty"`
 	// Campaign is the KindCampaign payload.
 	Campaign *experiments.AdaptiveRunConfig `json:"campaign,omitempty"`
 	// Sweep is the KindSweep payload.
@@ -153,6 +167,12 @@ func (s Spec) Validate() error {
 	}
 	if set != 1 {
 		return fmt.Errorf("jobs: exactly one payload (campaign, sweep, scenario) required, got %d", set)
+	}
+	if _, ok := sched.Canon(sched.Class(s.Priority)); !ok {
+		return fmt.Errorf("jobs: unknown priority %q (want high, normal, or low)", s.Priority)
+	}
+	if len(s.Client) > maxClientLen {
+		return fmt.Errorf("jobs: client ID longer than %d bytes", maxClientLen)
 	}
 	switch s.Kind {
 	case KindCampaign:

@@ -1,0 +1,80 @@
+// Per-client token-bucket rate limiting for the submission path. Each
+// client (the Spec.Client ID; "" is the shared anonymous client) owns a
+// lazily created bucket that refills continuously at the configured
+// rate up to the burst size, so clients are isolated: one client
+// hammering POST /jobs exhausts only its own bucket. A denied request
+// reports how long until the next token, which the HTTP layer turns
+// into a Retry-After header on the 429.
+
+package jobs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tbucket is one client's token bucket.
+type tbucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter is a per-client token-bucket set. A nil limiter allows
+// everything, so the server only constructs one when rate limiting is
+// configured. The clock is injectable (the lease.Table idiom) so refill
+// behaviour is tested deterministically.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tbucket
+}
+
+// newRateLimiter returns a limiter granting rate tokens per second per
+// client with the given burst capacity (values < 1 are raised to 1 so a
+// configured limiter can always eventually grant). A nil now means
+// time.Now.
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   b,
+		now:     now,
+		buckets: make(map[string]*tbucket),
+	}
+}
+
+// allow spends one token from the client's bucket. When the bucket is
+// empty it reports ok=false and the wait until one token will be
+// available.
+func (l *rateLimiter) allow(client string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.now()
+	b, exists := l.buckets[client]
+	if !exists {
+		b = &tbucket{tokens: l.burst, last: t}
+		l.buckets[client] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+t.Sub(b.last).Seconds()*l.rate)
+		b.last = t
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}

@@ -15,7 +15,9 @@ import (
 
 	"aft/internal/experiments"
 	"aft/internal/jobs/lease"
+	"aft/internal/jobs/sched"
 	"aft/internal/metrics"
+	"aft/internal/pubsub"
 	"aft/internal/scenario"
 )
 
@@ -52,6 +54,23 @@ type Options struct {
 	// the whole campaign.
 	ShardRounds int64
 
+	// Scheduler selects the dispatch discipline for the run queue:
+	// "fair" (the default, and the default when empty) is the priority +
+	// per-client weighted round-robin of internal/jobs/sched; "fifo" is
+	// strict submission order, kept for baseline comparisons.
+	Scheduler string
+	// RateLimit caps each client's submission rate in requests per
+	// second (token bucket, see RateBurst); 0 disables rate limiting.
+	// Over-limit submissions get 429 with a Retry-After header.
+	RateLimit float64
+	// RateBurst is the token-bucket burst size per client; values < 1
+	// are raised to 1 when RateLimit is on.
+	RateBurst int
+	// MaxQueued caps the admission queue depth: submissions of new jobs
+	// beyond this many queued-but-not-running jobs get 429 (dedup hits
+	// and status reads are unaffected). 0 means unlimited.
+	MaxQueued int
+
 	// testHoldRecovery is a test-only gate (settable only from inside
 	// the package): when non-nil, the recovery replay goroutine blocks
 	// on it before replaying checkpoints and marking the server ready,
@@ -71,6 +90,13 @@ type Options struct {
 // defaultCheckpointEvery is the campaign snapshot cadence when
 // Options.CheckpointEvery is unset.
 const defaultCheckpointEvery = 100_000
+
+// eventBusQueue is the per-subscriber bounded queue depth of the SSE
+// event bus: how many status updates a slow consumer may fall behind
+// before updates are dropped for it (terminal events are re-derived on
+// stream end, so drops never lose the final state). A variable so the
+// fan-out stress test can shrink it.
+var eventBusQueue = 64
 
 // job is the in-memory face of one stored job. The state and result
 // fields are guarded by the server mutex; progress counters are atomic
@@ -110,6 +136,13 @@ type job struct {
 	// Guarded by Server.mu; consumed (nilled) by the worker.
 	restored *experiments.Campaign
 
+	// submittedAt is when this server process accepted the job (zero
+	// for jobs recovered from a previous process — their end-to-end
+	// latency is not this process's to claim); enqueuedAt is when the
+	// job last entered the run queue. Both guarded by Server.mu.
+	submittedAt time.Time
+	enqueuedAt  time.Time
+
 	done chan struct{} // closed on terminal state
 }
 
@@ -144,8 +177,8 @@ type Server struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	jobs   map[string]*job
-	order  []string // job IDs in submission order
-	queue  []*job   // FIFO of runnable jobs
+	order  []string     // job IDs in submission order
+	queue  *sched.Queue // runnable jobs, fair-queued by client and class
 	closed bool
 	ready  bool // recovery replay finished; workers may run and lease
 	seq    int64
@@ -159,6 +192,15 @@ type Server struct {
 
 	wg sync.WaitGroup
 
+	// limiter is the per-client submission rate limiter; nil when
+	// Options.RateLimit is 0.
+	limiter *rateLimiter
+
+	// events is the SSE fan-out bus: every job's status transitions are
+	// published to "jobs/<id>" with bounded async delivery, so slow SSE
+	// consumers drop (with accounting) instead of stalling workers.
+	events *pubsub.Bus
+
 	submitted, deduped   metrics.AtomicCounter
 	doneJobs, failedJobs metrics.AtomicCounter
 	cancelledJobs        metrics.AtomicCounter
@@ -166,6 +208,12 @@ type Server struct {
 	checkpointsWritten   metrics.AtomicCounter
 	roundsRun            metrics.AtomicCounter
 	runningJobs          metrics.Gauge
+
+	rateLimited   metrics.AtomicCounter
+	queueRejected metrics.AtomicCounter
+	sseDropped    metrics.AtomicCounter
+	queueWait     *metrics.Histogram
+	runLatency    *metrics.Histogram
 
 	leasesGranted, leasesExpired metrics.AtomicCounter
 	fencedRejects                metrics.AtomicCounter
@@ -206,16 +254,30 @@ func NewServer(opts Options) (*Server, error) {
 		opts.LeaseTTL = lease.DefaultTTL
 	}
 	opts.Workers = experiments.Workers(opts.Workers)
+	mode := sched.Mode(opts.Scheduler)
+	if mode == "" {
+		mode = sched.Fair
+	}
+	if mode != sched.Fair && mode != sched.FIFO {
+		return nil, fmt.Errorf("jobs: unknown scheduler %q (want fair or fifo)", opts.Scheduler)
+	}
 	s := &Server{
 		opts:         opts,
 		store:        st,
 		cache:        cache,
 		reg:          &metrics.Registry{},
 		jobs:         make(map[string]*job),
+		queue:        sched.New(mode),
+		events:       pubsub.New().Async(eventBusQueue),
 		fleetWorkers: make(map[string]*WorkerInfo),
 		readyCh:      make(chan struct{}),
 		closing:      make(chan struct{}),
 		halted:       make(chan struct{}),
+		queueWait:    metrics.NewHistogram(metrics.DefLatencyBuckets()),
+		runLatency:   metrics.NewHistogram(metrics.DefLatencyBuckets()),
+	}
+	if opts.RateLimit > 0 {
+		s.limiter = newRateLimiter(opts.RateLimit, opts.RateBurst, nil)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.leases = lease.NewTable(opts.LeaseTTL, nil)
@@ -253,7 +315,12 @@ func (s *Server) replay() {
 		}
 	}
 	s.mu.Lock()
-	pending := append([]*job(nil), s.queue...)
+	var pending []*job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.state == StateQueued {
+			pending = append(pending, j)
+		}
+	}
 	s.mu.Unlock()
 	for _, j := range pending {
 		snap := s.store.readCheckpoint(j.id)
@@ -353,8 +420,9 @@ func (s *Server) requeueExpired(expired []lease.Lease) {
 			}
 			j.restored = nil
 			j.runTo.Store(0)
-			s.queue = append(s.queue, j)
-			s.cond.Signal()
+			// Front of its client's queue: the job already waited its
+			// turn once; the dead worker must not cost it another.
+			s.enqueueLocked(j, true)
 		}
 		s.mu.Unlock()
 		if cancelled {
@@ -393,10 +461,24 @@ func (s *Server) registerMetrics() {
 	s.reg.Register("aft_jobs_queued", func() int64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return int64(len(s.queue))
+		return int64(s.queue.Len())
 	})
 	s.reg.Register("aft_memo_hits_total", func() int64 { h, _ := s.cache.Stats(); return h })
 	s.reg.Register("aft_memo_misses_total", func() int64 { _, m := s.cache.Stats(); return m })
+
+	s.reg.RegisterCounter("aft_rate_limited_total", &s.rateLimited)
+	s.reg.RegisterCounter("aft_queue_rejected_total", &s.queueRejected)
+	s.reg.RegisterHistogram("aft_queue_wait_seconds", s.queueWait)
+	s.reg.RegisterHistogram("aft_run_latency_seconds", s.runLatency)
+	// SSE accounting: connection-level drops (a consumer's buffer was
+	// full) plus bus-level drops (its bounded async queue overflowed).
+	s.reg.RegisterCounterFunc("aft_sse_dropped_total", func() int64 {
+		return s.sseDropped.Value() + s.events.Metrics().Dropped.Value()
+	})
+	s.reg.RegisterCounterFunc("aft_events_published_total", s.events.Metrics().Published.Value)
+	s.reg.Register("aft_sse_subscribers", func() int64 {
+		return int64(s.events.SubscriberCount())
+	})
 }
 
 // Metrics returns the registry /metricz renders; callers may register
@@ -443,7 +525,7 @@ func (s *Server) recover() error {
 			// parked; the job re-enters the queue immediately but no
 			// worker sees it until the server is ready.
 			j.state = StateQueued
-			s.queue = append(s.queue, j)
+			s.enqueueLocked(j, false)
 		}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
@@ -473,6 +555,44 @@ func jobTotal(spec Spec) int64 {
 // server rather than discard the spec as malformed.
 var ErrShuttingDown = errors.New("jobs: server is shutting down")
 
+// ErrQueueFull is returned by Submit when Options.MaxQueued new jobs
+// are already waiting; the HTTP layer maps it to 429 with Retry-After.
+// Deduplicated resubmissions are never rejected — the job exists.
+var ErrQueueFull = errors.New("jobs: admission queue is full")
+
+// enqueueLocked puts a job into the run queue (front requeues it at its
+// client's queue head) and wakes a worker. The caller holds s.mu —
+// except single-threaded startup (recover), where the signal is a
+// no-op.
+func (s *Server) enqueueLocked(j *job, front bool) {
+	j.enqueuedAt = time.Now()
+	it := sched.Item{ID: j.id, Client: j.spec.Client, Class: sched.Class(j.spec.Priority)}
+	if front {
+		s.queue.PushFront(it)
+	} else {
+		s.queue.Push(it)
+	}
+	s.cond.Signal()
+}
+
+// publish pushes the job's current status onto the event bus; SSE
+// streams for the job receive it with bounded-queue async delivery.
+// Must be called without holding s.mu.
+func (s *Server) publish(j *job) {
+	st, ok := s.StatusOf(j.id)
+	if !ok {
+		return
+	}
+	s.events.Publish(pubsub.Message{Topic: "jobs/" + j.id, Payload: st})
+}
+
+// EventBus returns the server's status-event bus: every job publishes
+// its Status to topic "jobs/<id>" on state transitions and campaign
+// progress. Subscribers get bounded async delivery — a slow subscriber
+// drops updates (counted in aft_sse_dropped_total) rather than
+// stalling workers.
+func (s *Server) EventBus() *pubsub.Bus { return s.events }
+
 // Submit registers a job (persisting its spec durably before the
 // success reply) and enqueues it. Submitting a spec whose content
 // address matches an existing job returns that job's status with
@@ -501,11 +621,17 @@ func (s *Server) Submit(spec Spec) (Status, bool, error) {
 		s.deduped.Inc()
 		return st, true, nil
 	}
+	if s.opts.MaxQueued > 0 && s.queue.Len() >= s.opts.MaxQueued {
+		s.mu.Unlock()
+		s.queueRejected.Inc()
+		return Status{}, false, ErrQueueFull
+	}
 	// Reserve the ID (so concurrent identical submits dedup onto this
 	// job) but persist the spec outside the lock — an fsync must not
 	// stall status reads and worker scheduling.
 	j.seq = s.seq
 	s.seq++
+	j.submittedAt = time.Now()
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.mu.Unlock()
@@ -523,12 +649,12 @@ func (s *Server) Submit(spec Spec) (Status, bool, error) {
 	// A concurrent Cancel may have already finalized the reserved job;
 	// only a still-queued one enters the run queue.
 	if !j.state.Terminal() {
-		s.queue = append(s.queue, j)
-		s.cond.Signal()
+		s.enqueueLocked(j, false)
 	}
 	st := s.statusLocked(j)
 	s.mu.Unlock()
 	s.submitted.Inc()
+	s.publish(j)
 	return st, false, nil
 }
 
@@ -557,6 +683,39 @@ func (s *Server) StatusOf(id string) (Status, bool) {
 		return Status{}, false
 	}
 	return s.statusLocked(j), true
+}
+
+// ListPage returns the statuses matching state ("" matches all) in
+// submission order, windowed by offset and limit (limit 0 means no
+// cap), plus the total match count before windowing — the pagination
+// behind GET /jobs?state=&limit=&offset=.
+func (s *Server) ListPage(state State, offset, limit int) ([]Status, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	matched := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if state != "" && j.state != state {
+			continue
+		}
+		matched = append(matched, s.statusLocked(j))
+	}
+	total := len(matched)
+	if offset >= total {
+		return []Status{}, total
+	}
+	matched = matched[offset:]
+	if limit > 0 && limit < len(matched) {
+		matched = matched[:limit]
+	}
+	return matched, total
+}
+
+// jobByID looks a job up; nil when unknown.
+func (s *Server) jobByID(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
 }
 
 // List returns every job's status in submission order.
@@ -630,12 +789,7 @@ func (s *Server) Cancel(id string) (Status, error) {
 	j.cancel.Store(true)
 	if j.state == StateQueued || j.state == StateCheckpointed {
 		// Remove from the queue and finalize without a worker.
-		for i, q := range s.queue {
-			if q == j {
-				s.queue = append(s.queue[:i], s.queue[i+1:]...)
-				break
-			}
-		}
+		s.queue.Remove(j.id)
 		s.mu.Unlock()
 		res := &Result{
 			ID: j.id, Kind: j.spec.Kind, State: StateCancelled,
@@ -666,6 +820,9 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	// With workers stopped, no more events are published; Close drains
+	// the per-subscriber queues so late SSE readers see what was sent.
+	s.events.Close()
 	return nil
 }
 
@@ -708,20 +865,27 @@ func (s *Server) next() *job {
 	}
 }
 
-// popLocked removes and returns the first runnable job from the queue,
-// marking it running; nil when the queue holds none. The caller holds
+// popLocked removes and returns the scheduler's next runnable job,
+// marking it running and recording its queue wait; nil when the queue
+// holds none. Both the local pool and fleet /v1/lease grants dispatch
+// through here, so they share one fairness discipline. The caller holds
 // s.mu.
 func (s *Server) popLocked() *job {
-	for len(s.queue) > 0 {
-		j := s.queue[0]
-		s.queue = s.queue[1:]
-		if j.state.Terminal() { // cancelled while queued
+	for {
+		it, ok := s.queue.Pop()
+		if !ok {
+			return nil
+		}
+		j := s.jobs[it.ID]
+		if j == nil || j.state.Terminal() { // cancelled while queued
 			continue
+		}
+		if !j.enqueuedAt.IsZero() {
+			s.queueWait.Observe(time.Since(j.enqueuedAt).Seconds())
 		}
 		j.state = StateRunning
 		return j
 	}
-	return nil
 }
 
 // execute runs one job to a terminal state, a parked checkpoint, or a
@@ -729,6 +893,8 @@ func (s *Server) popLocked() *job {
 func (s *Server) execute(j *job) bool {
 	s.runningJobs.Inc()
 	defer s.runningJobs.Dec()
+	s.publish(j) // running
+
 	switch j.spec.Kind {
 	case KindCampaign:
 		return s.runCampaign(j)
@@ -761,6 +927,7 @@ func (s *Server) finalize(j *job, res *Result) {
 	s.mu.Lock()
 	j.state = res.State
 	j.result = res
+	submittedAt := j.submittedAt
 	s.mu.Unlock()
 	j.rounds.Store(res.Rounds)
 	switch res.State {
@@ -771,7 +938,11 @@ func (s *Server) finalize(j *job, res *Result) {
 	case StateCancelled:
 		s.cancelledJobs.Inc()
 	}
+	if !submittedAt.IsZero() {
+		s.runLatency.Observe(time.Since(submittedAt).Seconds())
+	}
 	close(j.done)
+	s.publish(j)
 }
 
 // fail finalizes a job with an error.
@@ -840,6 +1011,7 @@ func (s *Server) runCampaign(j *job) bool {
 			s.mu.Lock()
 			j.state = StateCheckpointed
 			s.mu.Unlock()
+			s.publish(j)
 			return true
 		}
 		n := s.opts.CheckpointEvery
@@ -849,6 +1021,9 @@ func (s *Server) runCampaign(j *job) bool {
 		c.Run(n)
 		j.rounds.Store(c.Rounds())
 		s.roundsRun.Add(n)
+		if c.Remaining() > 0 {
+			s.publish(j) // progress: one event per checkpoint chunk
+		}
 		if c.Remaining() > 0 {
 			if err := s.writeCampaignCheckpoint(j, c); err != nil {
 				s.fail(j, err)

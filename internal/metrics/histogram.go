@@ -1,0 +1,98 @@
+// Concurrent fixed-bucket histogram for the serving path.
+//
+// The original IntHistogram is single-goroutine by contract: it lives
+// inside one campaign engine and is folded into results when the
+// campaign ends. The serving layer needs the opposite trade-off — many
+// worker goroutines observing latencies while /metricz scrapes — so
+// Histogram uses one atomic counter per bucket and a CAS-maintained
+// float sum, making Observe lock-free and Snapshot a consistent-enough
+// read for monitoring (Prometheus scrapes tolerate per-bucket skew of
+// in-flight observations).
+
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefLatencyBuckets are the default upper bounds (in seconds) for
+// latency histograms: roughly logarithmic from 1 ms to ~4 minutes, the
+// range between a queue hit on an idle server and a campaign stuck
+// behind a deep backlog.
+func DefLatencyBuckets() []float64 {
+	return []float64{
+		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 240,
+	}
+}
+
+// Histogram is a cumulative fixed-bucket histogram safe for concurrent
+// use. Buckets are defined by ascending upper bounds; an implicit +Inf
+// bucket catches everything beyond the last bound. Construct with
+// NewHistogram; the zero value is not usable.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // one per bound, plus the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, maintained by CAS
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds. It panics on an empty or unsorted bound list — bucket layout
+// is programmer configuration, not runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: NewHistogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: NewHistogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := len(h.bounds) // the +Inf bucket
+	for b, bound := range h.bounds {
+		if v <= bound {
+			i = b
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the upper bounds and the cumulative count at each
+// bound (Prometheus le-semantics), ending with the +Inf bucket whose
+// count equals Count().
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	bounds = append([]float64(nil), h.bounds...)
+	bounds = append(bounds, math.Inf(1))
+	cumulative = make([]int64, len(h.counts))
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cumulative[i] = running
+	}
+	return bounds, cumulative
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 102.65; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum %g, want %g", got, want)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 4 || !math.IsInf(bounds[3], 1) {
+		t.Fatalf("bounds %v, want three finite + Inf", bounds)
+	}
+	// le semantics: 0.1 contains 0.05 and the boundary value 0.1 itself.
+	want := []int64{2, 3, 4, 5}
+	for i, c := range cum {
+		if c != want[i] {
+			t.Fatalf("cumulative %v, want %v", cum, want)
+		}
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g%4) + 0.5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count %d, want %d", h.Count(), goroutines*per)
+	}
+	_, cum := h.Buckets()
+	if cum[len(cum)-1] != goroutines*per {
+		t.Fatalf("+Inf cumulative %d, want %d", cum[len(cum)-1], goroutines*per)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	var r Registry
+	var c AtomicCounter
+	c.Add(7)
+	var g Gauge
+	g.Set(3)
+	h := NewHistogram([]float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	r.RegisterCounter("t_requests_total", &c)
+	r.RegisterGauge("t_depth", &g)
+	r.RegisterHistogram("t_latency_seconds", h)
+	r.RegisterCounterFunc("t_derived_total", func() int64 { return 9 })
+
+	got := r.Prometheus()
+	for _, want := range []string{
+		"# TYPE t_requests_total counter\nt_requests_total 7\n",
+		"# TYPE t_depth gauge\nt_depth 3\n",
+		"# TYPE t_derived_total counter\nt_derived_total 9\n",
+		"# TYPE t_latency_seconds histogram\n",
+		`t_latency_seconds_bucket{le="0.5"} 1`,
+		`t_latency_seconds_bucket{le="2"} 2`,
+		`t_latency_seconds_bucket{le="+Inf"} 2`,
+		"t_latency_seconds_sum 1.25\n",
+		"t_latency_seconds_count 2\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	// Scalar families are name-sorted, so the exposition is stable.
+	if r.Prometheus() != got {
+		t.Fatal("exposition is not byte-stable across scrapes")
+	}
+	// Text stays scalar-only and un-annotated for existing consumers.
+	text := r.Text()
+	if strings.Contains(text, "# TYPE") || strings.Contains(text, "_bucket") {
+		t.Fatalf("Text grew annotations:\n%s", text)
+	}
+	if !strings.Contains(text, "t_requests_total 7\n") {
+		t.Fatalf("Text missing scalar:\n%s", text)
+	}
+}
+
+func TestRegistryRejectsDuplicateAcrossKinds(t *testing.T) {
+	var r Registry
+	r.RegisterHistogram("dup", NewHistogram([]float64{1}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scalar registration over a histogram name did not panic")
+		}
+	}()
+	r.Register("dup", func() int64 { return 0 })
+}
+
+func TestDefLatencyBucketsAscending(t *testing.T) {
+	b := DefLatencyBuckets()
+	if len(b) == 0 {
+		t.Fatal("empty default buckets")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("default buckets not ascending at %d: %v", i, b)
+		}
+	}
+	NewHistogram(b) // must not panic
+}

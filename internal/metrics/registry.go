@@ -15,7 +15,9 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -60,14 +62,30 @@ type Sample struct {
 //
 //aftvet:allow snapshotpair -- Snapshot is a live scrape for /metricz, not durable state; a registry is rebuilt by re-registration at process start
 type Registry struct {
-	mu      sync.Mutex
-	sources map[string]func() int64
+	mu         sync.Mutex
+	sources    map[string]func() int64
+	types      map[string]string // Prometheus type per scalar name
+	histograms map[string]*Histogram
 }
 
-// Register adds a named source. The name must be non-empty and unused;
-// read must be safe to call from any goroutine. Register panics
-// otherwise — metric wiring is programmer error, not runtime input.
+// Prometheus metric types a registration carries into the # TYPE line
+// of the exposition.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Register adds a named source, exposed as a gauge (use RegisterCounter
+// for monotonic counts). The name must be non-empty and unused; read
+// must be safe to call from any goroutine. Register panics otherwise —
+// metric wiring is programmer error, not runtime input.
 func (r *Registry) Register(name string, read func() int64) {
+	r.register(name, typeGauge, read)
+}
+
+// register adds one typed scalar source.
+func (r *Registry) register(name, typ string, read func() int64) {
 	if name == "" || read == nil {
 		panic("metrics: Register needs a name and a read function")
 	}
@@ -75,21 +93,57 @@ func (r *Registry) Register(name string, read func() int64) {
 	defer r.mu.Unlock()
 	if r.sources == nil {
 		r.sources = make(map[string]func() int64)
+		r.types = make(map[string]string)
 	}
-	if _, dup := r.sources[name]; dup {
+	if r.taken(name) {
 		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
 	}
 	r.sources[name] = read
+	r.types[name] = typ
+}
+
+// taken reports whether name is already registered; the caller holds
+// r.mu.
+func (r *Registry) taken(name string) bool {
+	if _, dup := r.sources[name]; dup {
+		return true
+	}
+	_, dup := r.histograms[name]
+	return dup
 }
 
 // RegisterCounter registers an AtomicCounter's value under name.
 func (r *Registry) RegisterCounter(name string, c *AtomicCounter) {
-	r.Register(name, c.Value)
+	r.register(name, typeCounter, c.Value)
+}
+
+// RegisterCounterFunc registers a monotonically increasing source under
+// name, exposed as a counter.
+func (r *Registry) RegisterCounterFunc(name string, read func() int64) {
+	r.register(name, typeCounter, read)
 }
 
 // RegisterGauge registers a Gauge's level under name.
 func (r *Registry) RegisterGauge(name string, g *Gauge) {
-	r.Register(name, g.Value)
+	r.register(name, typeGauge, g.Value)
+}
+
+// RegisterHistogram registers a Histogram under name; the exposition
+// renders it as Prometheus le-bucketed series (name_bucket, name_sum,
+// name_count).
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	if name == "" || h == nil {
+		panic("metrics: RegisterHistogram needs a name and a histogram")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	if r.taken(name) {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
+	}
+	r.histograms[name] = h
 }
 
 // Snapshot reads every registered source once and returns the samples
@@ -108,11 +162,63 @@ func (r *Registry) Snapshot() []Sample {
 }
 
 // Text renders the snapshot in the /metricz exposition format: one
-// "name value" line per metric, sorted by name, trailing newline.
+// "name value" line per scalar metric, sorted by name, trailing
+// newline. Histograms are omitted; Prometheus renders everything.
 func (r *Registry) Text() string {
 	var b strings.Builder
 	for _, s := range r.Snapshot() {
 		fmt.Fprintf(&b, "%s %d\n", s.Name, s.Value)
+	}
+	return b.String()
+}
+
+// Prometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): a # TYPE line per family, scalars
+// as "name value", histograms as cumulative le-bucketed series plus
+// _sum and _count. Families are sorted by name, so the output is
+// byte-stable for a fixed set of values.
+func (r *Registry) Prometheus() string {
+	r.mu.Lock()
+	scalars := make([]Sample, 0, len(r.sources))
+	types := make(map[string]string, len(r.sources))
+	for name, read := range r.sources {
+		scalars = append(scalars, Sample{Name: name, Value: read()})
+		types[name] = r.types[name]
+	}
+	hists := make([]string, 0, len(r.histograms))
+	for name := range r.histograms {
+		hists = append(hists, name)
+	}
+	byName := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		byName[name] = h
+	}
+	r.mu.Unlock()
+
+	sort.Slice(scalars, func(i, j int) bool { return scalars[i].Name < scalars[j].Name })
+	sort.Strings(hists)
+
+	var b strings.Builder
+	for _, s := range scalars {
+		fmt.Fprintf(&b, "# TYPE %s %s\n%s %d\n", s.Name, types[s.Name], s.Name, s.Value)
+	}
+	for _, name := range hists {
+		h := byName[name]
+		// Count and Sum are read before the buckets: a concurrent
+		// Observe can then only make a bucket count exceed the reported
+		// _count, never report observations the buckets lack.
+		count, sum := h.Count(), h.Sum()
+		bounds, cumulative := h.Buckets()
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		for i, bound := range bounds {
+			le := "+Inf"
+			if !math.IsInf(bound, 1) {
+				le = strconv.FormatFloat(bound, 'g', -1, 64)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, le, cumulative[i])
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", name, strconv.FormatFloat(sum, 'g', -1, 64))
+		fmt.Fprintf(&b, "%s_count %d\n", name, count)
 	}
 	return b.String()
 }
